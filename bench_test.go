@@ -1,0 +1,320 @@
+package hipcloud
+
+// Repository-level benchmarks: one per table/figure of the paper plus the
+// ablations called out in DESIGN.md. Each benchmark iteration runs a full
+// deterministic simulation; figures of merit from the virtual experiment
+// (throughput, response time, bandwidth, RTT) are attached via
+// b.ReportMetric, so `go test -bench . -benchmem` regenerates the paper's
+// numbers alongside the harness's real cost.
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"hipcloud/internal/cloud"
+	"hipcloud/internal/experiments"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/keymat"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/proxy"
+	"hipcloud/internal/rubis"
+	"hipcloud/internal/secio"
+	"hipcloud/internal/simtcp"
+	"hipcloud/internal/tlslite"
+	"hipcloud/internal/workload"
+)
+
+// benchSrvID is a shared server identity for the TLS benches.
+var benchSrvID = identity.MustGenerate(identity.AlgRSA)
+
+// benchFig2 runs one Figure 2 cell per iteration.
+func benchFig2(b *testing.B, kind secio.Kind, clients int) {
+	cfg := experiments.Fig2Config{Duration: 10 * time.Second, Warmup: 2 * time.Second}
+	var lastTput, lastRT float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		pt := experiments.RunFig2Point(cfg, kind, clients)
+		lastTput = pt.Throughput
+		lastRT = float64(pt.MeanRT.Milliseconds())
+	}
+	b.ReportMetric(lastTput, "req/s(virtual)")
+	b.ReportMetric(lastRT, "ms-mean-RT(virtual)")
+}
+
+// Figure 2: RUBiS throughput, basic vs HIP vs SSL at the paper's low,
+// knee and high concurrency points.
+func BenchmarkFig2(b *testing.B) {
+	for _, clients := range []int{6, 30, 50} {
+		for _, kind := range []secio.Kind{secio.Basic, secio.HIP, secio.SSL} {
+			b.Run(fmt.Sprintf("%s/clients=%d", kind, clients), func(b *testing.B) {
+				benchFig2(b, kind, clients)
+			})
+		}
+	}
+}
+
+// §V-B: mean response times at 120 req/s.
+func BenchmarkResponseTime(b *testing.B) {
+	for _, kind := range []secio.Kind{secio.Basic, secio.HIP, secio.SSL} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				pt := experiments.RunResponseTimePoint(experiments.RTConfig{
+					Duration: 10 * time.Second, Warmup: 2 * time.Second, Seed: int64(i + 1),
+				}, kind)
+				mean = float64(pt.Mean.Microseconds()) / 1000
+			}
+			b.ReportMetric(mean, "ms-mean-RT(virtual)")
+		})
+	}
+}
+
+// Figure 3: iperf bandwidth and ICMP RTT per connectivity mode.
+func BenchmarkFig3(b *testing.B) {
+	for _, mode := range experiments.Fig3Modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			var mbps, rtt float64
+			for i := 0; i < b.N; i++ {
+				pt, err := experiments.RunFig3Mode(experiments.Fig3Config{
+					Bytes: 2 << 20, Pings: 8, Seed: int64(i + 1),
+				}, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = pt.Mbps
+				rtt = float64(pt.MeanRTT.Microseconds()) / 1000
+			}
+			b.ReportMetric(mbps, "Mbit/s(virtual)")
+			b.ReportMetric(rtt, "ms-RTT(virtual)")
+		})
+	}
+}
+
+// §V-A cross-check: the private OpenNebula profile.
+func BenchmarkPrivateCloud(b *testing.B) {
+	for _, kind := range []secio.Kind{secio.Basic, secio.HIP} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				pt := experiments.RunFig2Point(experiments.Fig2Config{
+					Profile: cloud.OpenNebula, Duration: 10 * time.Second,
+					Warmup: 2 * time.Second, Seed: int64(i + 1),
+				}, kind, 50)
+				tput = pt.Throughput
+			}
+			b.ReportMetric(tput, "req/s(virtual)")
+		})
+	}
+}
+
+// §IV-B: base-exchange cost, RSA-2048 vs ECDSA P-256 host identities.
+func BenchmarkBEX(b *testing.B) {
+	for _, alg := range []identity.Algorithm{identity.AlgRSA, identity.AlgECDSA} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var wall, resp float64
+			for i := 0; i < b.N; i++ {
+				pt, err := experiments.RunBEX(alg, 8, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall = float64(pt.WallLatency.Microseconds()) / 1000
+				resp = float64(pt.RespCPU.Microseconds()) / 1000
+			}
+			b.ReportMetric(wall, "ms-BEX(virtual)")
+			b.ReportMetric(resp, "ms-responder-CPU(virtual)")
+		})
+	}
+}
+
+// --- ablations (design choices called out in DESIGN.md) ---
+
+// Ablation: ESP transform suites on the same deployment.
+func BenchmarkAblationESPSuite(b *testing.B) {
+	// Exercised at the data-plane level: per-suite seal+open costs are in
+	// internal/esp benchmarks; here we compare suite overhead on the wire.
+	for _, s := range []keymat.Suite{keymat.SuiteAESCTRSHA256, keymat.SuiteAESCBCSHA256, keymat.SuiteNullSHA256} {
+		b.Run(s.String(), func(b *testing.B) {
+			b.ReportMetric(float64(espOverhead(s)), "bytes/packet-overhead")
+			for i := 0; i < b.N; i++ {
+				_ = s
+			}
+		})
+	}
+}
+
+func espOverhead(s keymat.Suite) int {
+	// Re-exported through the association API in normal use; this keeps
+	// the ablation table self-contained.
+	switch s {
+	case keymat.SuiteNullSHA256:
+		return 26
+	case keymat.SuiteAESCTRSHA256:
+		return 34
+	default:
+		return 57
+	}
+}
+
+// Ablation: load-balancing policy under heterogeneous backend load.
+func BenchmarkAblationLBPolicy(b *testing.B) {
+	run := func(policy proxy.Policy, seed int64) float64 {
+		s := netsim.New(seed)
+		n := netsim.NewNetwork(s)
+		c := cloud.New(n, cloud.EC2)
+		t := &cloud.Tenant{Name: "t", VLAN: 1}
+		db := c.Zones[0].Launch("db", cloud.Large, t)
+		// Heterogeneous web tier: one micro, one large.
+		w1 := c.Zones[0].Launch("w1", cloud.Micro, t)
+		w2 := c.Zones[0].Launch("w2", cloud.Large, t)
+		lbNode := c.AttachExternal("lb", 8, 4)
+		cliNode := c.AttachExternal("cli", 8, 8)
+		dataset := rubis.Populate(seed, 200, 1000)
+
+		plain := func(nd *netsim.Node) *secio.Transport {
+			return &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(nd, simtcp.NewPlainFabric(nd))}
+		}
+		dbT := plain(db.Node)
+		s.Spawn("db", (&rubis.DBServer{DB: dataset, Transport: dbT}).Run)
+		var addrs []*cloud.VM
+		for _, vm := range []*cloud.VM{w1, w2} {
+			wt := plain(vm.Node)
+			ws := &rubis.WebServer{
+				Name: vm.Name, Config: rubis.DefaultWebConfig, Transport: wt,
+				DB: rubis.NewDBClient(wt, db.Addr(), 6),
+			}
+			s.Spawn(vm.Name, ws.Run)
+			addrs = append(addrs, vm)
+		}
+		front := plain(lbNode)
+		lb := &proxy.Proxy{Name: "lb", Front: front, Back: front, Policy: policy}
+		for _, vm := range addrs {
+			lb.AddBackend(vm.Name, vm.Addr(), rubis.WebPort)
+		}
+		s.Spawn("lb", lb.Run)
+		mix := rubis.NewMix(seed, dataset.NumItems(), dataset.NumUsers())
+		w := &workload.ClosedLoop{
+			Transport: plain(cliNode), Target: lbNode.Addr(), Port: proxy.FrontPort,
+			Clients: 40, Duration: 10 * time.Second, Warmup: 2 * time.Second, NextPath: mix.Next,
+		}
+		res := w.Run(s)
+		s.Run(20 * time.Second)
+		s.Shutdown()
+		return res.Throughput()
+	}
+	for _, policy := range []proxy.Policy{proxy.RoundRobin, proxy.LeastConn} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				tput = run(policy, int64(i+1))
+			}
+			b.ReportMetric(tput, "req/s(virtual)")
+		})
+	}
+}
+
+// Ablation: MySQL query cache on/off at the §V-B operating point.
+func BenchmarkAblationDBCache(b *testing.B) {
+	for _, cache := range []bool{false, true} {
+		name := "off"
+		if cache {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				d := experiments.Deploy(experiments.DeployConfig{
+					Kind: secio.Basic, NumWeb: 1, DBCache: cache, Seed: int64(i + 1),
+				})
+				mix := rubis.NewMix(int64(i+1), d.DB.NumItems(), d.DB.NumUsers())
+				addr, port := d.FrontAddr()
+				w := &workload.OpenLoop{
+					Transport: d.ClientT, Target: addr, Port: port,
+					Rate: 60, Duration: 8 * time.Second, Warmup: 2 * time.Second,
+					NextPath: mix.Next,
+				}
+				res := w.Run(d.Sim)
+				d.Sim.Run(20 * time.Second)
+				d.Sim.Shutdown()
+				mean = float64(res.Latency.Mean().Microseconds()) / 1000
+			}
+			b.ReportMetric(mean, "ms-mean-RT(virtual)")
+		})
+	}
+}
+
+// Ablation: puzzle difficulty as the DoS knob (initiator-side cost).
+func BenchmarkAblationPuzzleK(b *testing.B) {
+	for _, k := range []uint8{1, 8, 16} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			var wall float64
+			for i := 0; i < b.N; i++ {
+				pt, err := experiments.RunBEX(identity.AlgECDSA, k, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall = float64(pt.InitCPU.Microseconds()) / 1000
+			}
+			b.ReportMetric(wall, "ms-initiator-CPU(virtual)")
+		})
+	}
+}
+
+// Ablation: full vs resumed SSL handshake (virtual crypto cost). Session
+// resumption is what lets per-connection SSL amortize toward pure
+// data-plane costs — the regime in which the paper's HIP≈SSL comparison
+// holds.
+func BenchmarkAblationTLSResumption(b *testing.B) {
+	costs := cloud.TLSCosts(true)
+	measure := func(resume bool) time.Duration {
+		s := netsim.New(1)
+		n := netsim.NewNetwork(s)
+		a := n.AddNode("a", 4, 4)
+		bn := n.AddNode("b", 4, 4)
+		n.Connect(a, netip.MustParseAddr("10.0.0.1"), bn, netip.MustParseAddr("10.0.0.2"), netsim.Link{Latency: time.Millisecond})
+		cli := &secio.Transport{Kind: secio.SSL, Stack: simtcp.NewStack(a, simtcp.NewPlainFabric(a)), Costs: costs}
+		srv := &secio.Transport{Kind: secio.SSL, Stack: simtcp.NewStack(bn, simtcp.NewPlainFabric(bn)), Identity: benchSrvID, Costs: costs}
+		if resume {
+			cli.TLSCache = tlslite.NewSessionCache()
+			cli.TLSServerName = "srv"
+			srv.TLSSessions = tlslite.NewServerSessions()
+		}
+		l := srv.MustListen(443)
+		s.Spawn("server", func(p *netsim.Proc) {
+			for {
+				c, err := l.Accept(p, 0)
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		})
+		s.Spawn("client", func(p *netsim.Proc) {
+			for i := 0; i < 10; i++ {
+				c, err := cli.Dial(p, netip.MustParseAddr("10.0.0.2"), 443)
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		})
+		s.Run(time.Minute)
+		busy := bn.CPU().BusyTime()
+		s.Shutdown()
+		return busy
+	}
+	for _, resume := range []bool{false, true} {
+		name := "full"
+		if resume {
+			name = "resumed"
+		}
+		b.Run(name, func(b *testing.B) {
+			var busy time.Duration
+			for i := 0; i < b.N; i++ {
+				busy = measure(resume)
+			}
+			b.ReportMetric(float64(busy.Microseconds())/1000, "ms-server-CPU-10-conns(virtual)")
+		})
+	}
+}

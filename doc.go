@@ -1,0 +1,14 @@
+// Package hipcloud is a from-scratch Go reproduction of "Secure
+// Networking for Virtual Machines in the Cloud" (Komu et al., IEEE
+// CLUSTER 2012): a Host Identity Protocol stack (base exchange, BEET-mode
+// ESP, mobility updates, rendezvous, HIP DNS records, HIT firewalling,
+// Teredo NAT traversal), the paper's evaluation testbed (a deterministic
+// discrete-event cloud simulator with EC2 and OpenNebula profiles, a
+// RUBiS-like multi-tier service, a reverse proxy and jmeter/httperf/iperf
+// workload generators), and a real-UDP driver running the same protocol
+// cores over actual sockets.
+//
+// The root package only anchors documentation and the repository-level
+// benchmarks; the implementation lives under internal/ (see DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results).
+package hipcloud

@@ -1,0 +1,49 @@
+package hipcloud
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example end-to-end (each is a complete
+// scenario with its own assertions that log.Fatal on failure). Skipped in
+// -short mode: each run compiles and simulates a full deployment.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; run without -short")
+	}
+	cases := map[string]string{
+		"quickstart":  "served over ESP",
+		"multitenant": "multi-tenant isolation holds",
+		"hybridcloud": "hybrid hop secured",
+		"migration":   "rehomed the association",
+		"teredonat":   "triangular routing",
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

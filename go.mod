@@ -1,0 +1,3 @@
+module hipcloud
+
+go 1.22

@@ -1,0 +1,177 @@
+package cloud
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"hipcloud/internal/netsim"
+)
+
+func TestLaunchAndConnectivity(t *testing.T) {
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	c := New(n, EC2)
+	acme := &Tenant{Name: "acme", VLAN: 10}
+	w1 := c.Zones[0].Launch("web1", Micro, acme)
+	db := c.Zones[0].Launch("db1", Large, acme)
+	if w1.Type.Cores != 1 || db.Type.Cores != 2 {
+		t.Fatal("instance types not applied")
+	}
+	var rtt time.Duration
+	var err error
+	s.Spawn("ping", func(p *netsim.Proc) {
+		rtt, err = w1.Node.Ping(p, db.Addr(), 64, time.Second)
+	})
+	s.Run(time.Second)
+	s.Shutdown()
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	// RTT ≈ 4 × link latency (two links each way) ≈ 0.5ms + jitter.
+	if rtt < 400*time.Microsecond || rtt > 900*time.Microsecond {
+		t.Fatalf("intra-zone rtt = %v", rtt)
+	}
+}
+
+func TestCoResidency(t *testing.T) {
+	s := netsim.New(1)
+	c := New(netsim.NewNetwork(s), EC2)
+	acme := &Tenant{Name: "acme", VLAN: 10}
+	evil := &Tenant{Name: "evil", VLAN: 20}
+	a := c.Zones[0].Launch("a", Micro, acme)
+	b := c.Zones[0].Launch("b", Micro, evil)
+	cc := c.Zones[0].Launch("c", Micro, acme)
+	if !CoResident(a, b) {
+		t.Fatal("first two launches should co-reside (two VMs per host)")
+	}
+	if CoResident(a, cc) {
+		t.Fatal("third VM should land on a new physical host")
+	}
+}
+
+func TestInterZoneRouting(t *testing.T) {
+	s := netsim.New(1)
+	c := New(netsim.NewNetwork(s), EC2)
+	z2 := c.AddZone("b")
+	v1 := c.Zones[0].Launch("v1", Micro, nil)
+	v2 := z2.Launch("v2", Micro, nil)
+	var ok bool
+	s.Spawn("ping", func(p *netsim.Proc) {
+		if _, err := v1.Node.Ping(p, v2.Addr(), 64, time.Second); err == nil {
+			ok = true
+		}
+	})
+	s.Run(2 * time.Second)
+	s.Shutdown()
+	if !ok {
+		t.Fatal("inter-zone ping failed")
+	}
+}
+
+func TestExternalAttachment(t *testing.T) {
+	s := netsim.New(1)
+	c := New(netsim.NewNetwork(s), EC2)
+	z2 := c.AddZone("b")
+	lb := c.AttachExternal("lb", 4, 4)
+	v := c.Zones[0].Launch("v", Micro, nil)
+	v2 := z2.Launch("v2", Micro, nil)
+	results := map[string]bool{}
+	s.Spawn("ping", func(p *netsim.Proc) {
+		_, err := lb.Ping(p, v.Addr(), 64, time.Second)
+		results["lb->zone0"] = err == nil
+		_, err = v2.Node.Ping(p, lb.Addr(), 64, time.Second)
+		results["zone1->lb"] = err == nil
+	})
+	s.Run(3 * time.Second)
+	s.Shutdown()
+	for k, ok := range results {
+		if !ok {
+			t.Fatalf("%s unreachable", k)
+		}
+	}
+}
+
+func TestVLANFilterBlocksCrossTenant(t *testing.T) {
+	s := netsim.New(1)
+	c := New(netsim.NewNetwork(s), EC2)
+	acme := &Tenant{Name: "acme", VLAN: 10}
+	evil := &Tenant{Name: "evil", VLAN: 20}
+	a1 := c.Zones[0].Launch("a1", Micro, acme)
+	a2 := c.Zones[0].Launch("a2", Micro, acme)
+	e1 := c.Zones[0].Launch("e1", Micro, evil)
+	c.EnableVLANFilter()
+	var sameOK, crossOK bool
+	s.Spawn("ping", func(p *netsim.Proc) {
+		_, err := a1.Node.Ping(p, a2.Addr(), 64, 500*time.Millisecond)
+		sameOK = err == nil
+		_, err = a1.Node.Ping(p, e1.Addr(), 64, 500*time.Millisecond)
+		crossOK = err == nil
+	})
+	s.Run(3 * time.Second)
+	s.Shutdown()
+	if !sameOK {
+		t.Fatal("same-tenant traffic blocked by VLAN filter")
+	}
+	if crossOK {
+		t.Fatal("cross-tenant traffic passed VLAN filter")
+	}
+}
+
+func TestMigrationChangesAddressAndRoutes(t *testing.T) {
+	s := netsim.New(1)
+	c := New(netsim.NewNetwork(s), EC2)
+	z2 := c.AddZone("b")
+	v := c.Zones[0].Launch("v", Micro, nil)
+	peer := c.Zones[0].Launch("peer", Micro, nil)
+	oldAddr := v.Addr()
+	newAddr := c.Migrate(v, z2)
+	if newAddr == oldAddr {
+		t.Fatal("migration did not change address")
+	}
+	if !z2.subnet.Contains(newAddr) {
+		t.Fatalf("new address %v outside target zone subnet %v", newAddr, z2.subnet)
+	}
+	if v.Addr() != newAddr {
+		t.Fatal("primary address not updated")
+	}
+	var ok bool
+	s.Spawn("ping", func(p *netsim.Proc) {
+		if _, err := peer.Node.Ping(p, newAddr, 64, time.Second); err == nil {
+			ok = true
+		}
+	})
+	s.Run(2 * time.Second)
+	s.Shutdown()
+	if !ok {
+		t.Fatal("migrated VM unreachable at new address")
+	}
+}
+
+func TestCostModelsAgreeAcrossProtocols(t *testing.T) {
+	h := HIPCosts(true)
+	s := TLSCosts(true)
+	if h.Sign != s.Sign || h.Verify != s.Verify || h.DHCompute != s.DHCompute {
+		t.Fatal("HIP and SSL cost models diverge on shared primitives")
+	}
+	if h.SymmetricNsPerByte != s.SymmetricNsPerByte {
+		t.Fatal("symmetric costs diverge")
+	}
+	he := HIPCosts(false)
+	if he.Sign >= h.Sign {
+		t.Fatal("ECDSA signing should be cheaper than RSA-2048")
+	}
+	if h.LSITranslation <= 0 || h.ShimPerPacket <= 0 {
+		t.Fatal("shim costs must be positive")
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	if EC2.LinkBandwidth >= OpenNebula.LinkBandwidth {
+		t.Fatal("private cloud should have the faster LAN")
+	}
+	if EC2.WebType != Micro || EC2.DBType != Large {
+		t.Fatal("EC2 profile instance types wrong")
+	}
+	var _ netip.Addr // keep netip import for helpers
+}

@@ -1,0 +1,81 @@
+package cloud
+
+import (
+	"time"
+
+	"hipcloud/internal/hip"
+	"hipcloud/internal/tlslite"
+)
+
+// Cryptographic cost model, calibrated for one EC2 compute unit (≈ a
+// 1.0–1.2 GHz 2007 Opteron core, no AES-NI), the reference core of
+// netsim.CPU. Sources: openssl speed numbers published for that hardware
+// class, scaled to the sustained (not burst) throughput of 2012 micro
+// instances.
+//
+// These constants feed both the HIP stack (hip.CostModel) and the SSL
+// baseline (tlslite.Costs), so the "essentially the same cryptographic
+// algorithms" property the paper relies on holds by construction.
+const (
+	// RSA-2048: ~11ms sign / ~0.33ms verify on the reference core.
+	RSASign   = 11 * time.Millisecond
+	RSAVerify = 330 * time.Microsecond
+	// ECDSA P-256 (no optimized field arithmetic in 2012 OpenSSL):
+	// ~2.4ms sign / ~2.9ms verify.
+	ECDSASign   = 2400 * time.Microsecond
+	ECDSAVerify = 2900 * time.Microsecond
+	// ECDH P-256 shared-secret computation and keygen.
+	DHCompute = 2600 * time.Microsecond
+	DHKeygen  = 2400 * time.Microsecond
+	// One SHA-256 compression (puzzle attempt on a short buffer).
+	HashOp = 1200 * time.Nanosecond
+	// AES-128 + HMAC-SHA-256 over the data path: ~4.5 MB/s combined on a
+	// throttled 2012 micro's sustained share of the reference core ->
+	// 220 ns/byte (t1.micro sustains a fraction of its burst ECUs).
+	// Applied to payload bytes once per direction-endpoint.
+	SymmetricNsPerByte = 220.0
+	// Shim processing per packet: HIT<->locator table work, SPI demux,
+	// userspace/kernel crossings of the 3.5-layer implementation.
+	ShimPerPacket = 15 * time.Microsecond
+	// Extra IPv4<->HIT translation per packet when the application uses
+	// LSIs (the paper's explanation for the LSI penalty in Figure 3).
+	LSITranslation = 55 * time.Microsecond
+	// Plain (insecure) per-packet kernel cost.
+	PlainPerPacket = 2 * time.Microsecond
+)
+
+// HIPCosts returns the cost model for HIP hosts. useRSA selects RSA-2048
+// host identities (the 2012 HIPL default the paper ran); otherwise the
+// ECDSA costs of its "latest version of HIP supports elliptic-curve
+// cryptography" remark apply.
+func HIPCosts(useRSA bool) hip.CostModel {
+	m := hip.CostModel{
+		DHCompute:          DHCompute,
+		DHKeygen:           DHKeygen,
+		HashOp:             HashOp,
+		SymmetricNsPerByte: SymmetricNsPerByte,
+		ShimPerPacket:      ShimPerPacket,
+		LSITranslation:     LSITranslation,
+	}
+	if useRSA {
+		m.Sign, m.Verify = RSASign, RSAVerify
+	} else {
+		m.Sign, m.Verify = ECDSASign, ECDSAVerify
+	}
+	return m
+}
+
+// TLSCosts returns the matching cost model for the SSL baseline.
+func TLSCosts(useRSA bool) tlslite.Costs {
+	c := tlslite.Costs{
+		DHKeygen:           DHKeygen,
+		DHCompute:          DHCompute,
+		SymmetricNsPerByte: SymmetricNsPerByte,
+	}
+	if useRSA {
+		c.Sign, c.Verify = RSASign, RSAVerify
+	} else {
+		c.Sign, c.Verify = ECDSASign, ECDSAVerify
+	}
+	return c
+}

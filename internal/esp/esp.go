@@ -1,0 +1,315 @@
+// Package esp implements a userspace IPsec ESP data plane in BEET mode
+// (Bound End-to-End Tunnel, RFC 5202/5840-style): the inner identities of
+// a packet are fixed at SA setup (the two HITs), so only SPI, sequence
+// number, payload, padding and ICV travel on the wire — the
+// bandwidth-efficiency property the paper highlights over tunnel mode.
+//
+// Supported transforms come from hipcloud/internal/keymat: AES-128-CTR and
+// AES-128-CBC with HMAC-SHA-256-128 integrity, plus a NULL cipher for
+// integrity-only operation.
+package esp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"hipcloud/internal/keymat"
+)
+
+// Errors returned by the data plane.
+var (
+	ErrAuth         = errors.New("esp: integrity check failed")
+	ErrReplay       = errors.New("esp: replayed or stale sequence number")
+	ErrShort        = errors.New("esp: truncated packet")
+	ErrPad          = errors.New("esp: invalid padding")
+	ErrUnknownSPI   = errors.New("esp: unknown SPI")
+	ErrSeqExhausted = errors.New("esp: outbound sequence space exhausted")
+)
+
+// ICVLen is the truncated HMAC-SHA-256-128 integrity tag length.
+const ICVLen = 16
+
+// HeaderLen is SPI + sequence number.
+const HeaderLen = 8
+
+// ReplayWindow is the anti-replay window width in packets.
+const ReplayWindow = 64
+
+// OutboundSA encrypts and authenticates packets for one direction.
+type OutboundSA struct {
+	SPI    uint32
+	suite  keymat.Suite
+	encKey []byte
+	block  cipher.Block
+	mac    []byte
+	seq    uint32
+	// iv is a deterministic per-SA IV counter for CBC/CTR construction;
+	// combined with the sequence number it never repeats within an SA.
+	Packets uint64
+	Bytes   uint64
+}
+
+// InboundSA authenticates, replay-checks and decrypts one direction.
+type InboundSA struct {
+	SPI    uint32
+	suite  keymat.Suite
+	encKey []byte
+	block  cipher.Block
+	mac    []byte
+	// Anti-replay state: highest sequence seen and a bitmap of the
+	// ReplayWindow sequences at and below it.
+	highest   uint32
+	window    uint64
+	Packets   uint64
+	Bytes     uint64
+	Replays   uint64
+	AuthFails uint64
+}
+
+// NewOutbound creates the sending half of an SA.
+func NewOutbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*OutboundSA, error) {
+	sa := &OutboundSA{SPI: spi, suite: suite, encKey: encKey, mac: authKey}
+	if err := sa.initCipher(); err != nil {
+		return nil, err
+	}
+	return sa, nil
+}
+
+func (sa *OutboundSA) initCipher() error {
+	switch sa.suite {
+	case keymat.SuiteAESCBCSHA256, keymat.SuiteAESCTRSHA256:
+		b, err := aes.NewCipher(sa.encKey)
+		if err != nil {
+			return err
+		}
+		sa.block = b
+	case keymat.SuiteNullSHA256:
+	default:
+		return keymat.ErrUnknownSuite
+	}
+	return nil
+}
+
+// NewInbound creates the receiving half of an SA.
+func NewInbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*InboundSA, error) {
+	sa := &InboundSA{SPI: spi, suite: suite, encKey: encKey, mac: authKey}
+	switch suite {
+	case keymat.SuiteAESCBCSHA256, keymat.SuiteAESCTRSHA256:
+		b, err := aes.NewCipher(encKey)
+		if err != nil {
+			return nil, err
+		}
+		sa.block = b
+	case keymat.SuiteNullSHA256:
+	default:
+		return nil, keymat.ErrUnknownSuite
+	}
+	return sa, nil
+}
+
+// Seq returns the last sequence number sent.
+func (sa *OutboundSA) Seq() uint32 { return sa.seq }
+
+// deriveIV builds a unique 16-byte IV from the SPI and sequence number
+// keyed through the cipher itself (encrypting the counter block), which is
+// standard practice for deterministic IVs.
+func deriveIV(block cipher.Block, spi, seq uint32) []byte {
+	var ctr [16]byte
+	binary.BigEndian.PutUint32(ctr[0:], spi)
+	binary.BigEndian.PutUint32(ctr[4:], seq)
+	iv := make([]byte, 16)
+	block.Encrypt(iv, ctr[:])
+	return iv
+}
+
+// Seal encrypts and authenticates payload, producing a full ESP packet.
+func (sa *OutboundSA) Seal(payload []byte) ([]byte, error) {
+	if sa.seq == ^uint32(0) {
+		return nil, ErrSeqExhausted
+	}
+	sa.seq++
+	var body []byte
+	switch sa.suite {
+	case keymat.SuiteNullSHA256:
+		// pad-len and next-header trailer, zero padding.
+		body = append(append([]byte{}, payload...), 0, 59)
+	case keymat.SuiteAESCTRSHA256:
+		iv := deriveIV(sa.block, sa.SPI, sa.seq)
+		trailer := append(append([]byte{}, payload...), 0, 59)
+		ct := make([]byte, len(trailer))
+		cipher.NewCTR(sa.block, iv).XORKeyStream(ct, trailer)
+		body = append(iv[:8], ct...) // 8-byte IV on the wire for CTR
+	case keymat.SuiteAESCBCSHA256:
+		iv := deriveIV(sa.block, sa.SPI, sa.seq)
+		padLen := aes.BlockSize - (len(payload)+2)%aes.BlockSize
+		if padLen == aes.BlockSize {
+			padLen = 0
+		}
+		pt := make([]byte, len(payload)+padLen+2)
+		copy(pt, payload)
+		for i := 0; i < padLen; i++ {
+			pt[len(payload)+i] = byte(i + 1) // RFC 4303 monotonic padding
+		}
+		pt[len(pt)-2] = byte(padLen)
+		pt[len(pt)-1] = 59
+		ct := make([]byte, len(pt))
+		cipher.NewCBCEncrypter(sa.block, iv).CryptBlocks(ct, pt)
+		body = append(iv, ct...)
+	default:
+		return nil, keymat.ErrUnknownSuite
+	}
+	pkt := make([]byte, HeaderLen+len(body)+ICVLen)
+	binary.BigEndian.PutUint32(pkt[0:], sa.SPI)
+	binary.BigEndian.PutUint32(pkt[4:], sa.seq)
+	copy(pkt[HeaderLen:], body)
+	m := hmac.New(sha256.New, sa.mac)
+	m.Write(pkt[:HeaderLen+len(body)])
+	copy(pkt[HeaderLen+len(body):], m.Sum(nil)[:ICVLen])
+	sa.Packets++
+	sa.Bytes += uint64(len(payload))
+	return pkt, nil
+}
+
+// Open verifies, replay-checks and decrypts an ESP packet, returning the
+// payload.
+func (sa *InboundSA) Open(pkt []byte) ([]byte, error) {
+	if len(pkt) < HeaderLen+ICVLen {
+		return nil, ErrShort
+	}
+	spi := binary.BigEndian.Uint32(pkt[0:])
+	if spi != sa.SPI {
+		return nil, ErrUnknownSPI
+	}
+	seq := binary.BigEndian.Uint32(pkt[4:])
+	if !sa.replayCheck(seq) {
+		sa.Replays++
+		return nil, ErrReplay
+	}
+	body := pkt[HeaderLen : len(pkt)-ICVLen]
+	icv := pkt[len(pkt)-ICVLen:]
+	m := hmac.New(sha256.New, sa.mac)
+	m.Write(pkt[:len(pkt)-ICVLen])
+	if !hmac.Equal(icv, m.Sum(nil)[:ICVLen]) {
+		sa.AuthFails++
+		return nil, ErrAuth
+	}
+	var pt []byte
+	switch sa.suite {
+	case keymat.SuiteNullSHA256:
+		pt = append([]byte(nil), body...)
+	case keymat.SuiteAESCTRSHA256:
+		if len(body) < 8 {
+			return nil, ErrShort
+		}
+		iv := deriveIV(sa.block, sa.SPI, seq)
+		// Wire carries the first 8 bytes of the derived IV as a
+		// consistency check.
+		for i := 0; i < 8; i++ {
+			if body[i] != iv[i] {
+				sa.AuthFails++
+				return nil, ErrAuth
+			}
+		}
+		ct := body[8:]
+		pt = make([]byte, len(ct))
+		cipher.NewCTR(sa.block, iv).XORKeyStream(pt, ct)
+	case keymat.SuiteAESCBCSHA256:
+		if len(body) < aes.BlockSize || (len(body)-aes.BlockSize)%aes.BlockSize != 0 || len(body) == aes.BlockSize {
+			return nil, ErrShort
+		}
+		iv := body[:aes.BlockSize]
+		ct := body[aes.BlockSize:]
+		pt = make([]byte, len(ct))
+		cipher.NewCBCDecrypter(sa.block, iv).CryptBlocks(pt, ct)
+	default:
+		return nil, keymat.ErrUnknownSuite
+	}
+	if len(pt) < 2 {
+		return nil, ErrPad
+	}
+	padLen := int(pt[len(pt)-2])
+	if len(pt)-2-padLen < 0 {
+		return nil, ErrPad
+	}
+	// Verify RFC 4303 monotonic padding bytes.
+	for i := 0; i < padLen; i++ {
+		if pt[len(pt)-2-padLen+i] != byte(i+1) {
+			return nil, ErrPad
+		}
+	}
+	payload := pt[:len(pt)-2-padLen]
+	sa.replayAdvance(seq)
+	sa.Packets++
+	sa.Bytes += uint64(len(payload))
+	return append([]byte(nil), payload...), nil
+}
+
+// replayCheck reports whether seq is acceptable (not seen, not too old).
+func (sa *InboundSA) replayCheck(seq uint32) bool {
+	if seq == 0 {
+		return false
+	}
+	if seq > sa.highest {
+		return true
+	}
+	diff := sa.highest - seq
+	if diff >= ReplayWindow {
+		return false
+	}
+	return sa.window&(1<<diff) == 0
+}
+
+// replayAdvance marks seq as seen after successful authentication.
+func (sa *InboundSA) replayAdvance(seq uint32) {
+	if seq > sa.highest {
+		shift := seq - sa.highest
+		if shift >= ReplayWindow {
+			sa.window = 0
+		} else {
+			sa.window <<= shift
+		}
+		sa.window |= 1
+		sa.highest = seq
+		return
+	}
+	sa.window |= 1 << (sa.highest - seq)
+}
+
+// Pair bundles both directions of an association's data plane.
+type Pair struct {
+	Out *OutboundSA
+	In  *InboundSA
+}
+
+// NewPair builds SAs from negotiated association keys. localSPI is the SPI
+// peers use to reach us (inbound); remoteSPI is the peer's inbound SPI
+// (our outbound).
+func NewPair(keys keymat.AssociationKeys, localSPI, remoteSPI uint32) (*Pair, error) {
+	out, err := NewOutbound(remoteSPI, keys.Suite, keys.ESPEncOut, keys.ESPAuthOut)
+	if err != nil {
+		return nil, err
+	}
+	in, err := NewInbound(localSPI, keys.Suite, keys.ESPEncIn, keys.ESPAuthIn)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{Out: out, In: in}, nil
+}
+
+// Overhead reports the per-packet ESP byte overhead for a suite (header,
+// IV, trailer, ICV), used by cost models and wire-size accounting.
+func Overhead(s keymat.Suite) int {
+	switch s {
+	case keymat.SuiteNullSHA256:
+		return HeaderLen + 2 + ICVLen
+	case keymat.SuiteAESCTRSHA256:
+		return HeaderLen + 8 + 2 + ICVLen
+	case keymat.SuiteAESCBCSHA256:
+		return HeaderLen + 16 + 2 + 15 + ICVLen // worst-case padding
+	}
+	return HeaderLen + ICVLen
+}

@@ -1,0 +1,30 @@
+package esp
+
+import (
+	"net/netip"
+	"testing"
+
+	"hipcloud/internal/keymat"
+)
+
+// FuzzOpen feeds arbitrary packets to the inbound SA: it must never panic
+// and must never accept anything it did not seal.
+func FuzzOpen(f *testing.F) {
+	hitI := netip.MustParseAddr("2001:10::1")
+	hitR := netip.MustParseAddr("2001:10::2")
+	ki := keymat.New([]byte("dh"), hitI, hitR, 1, 2)
+	kr := keymat.New([]byte("dh"), hitI, hitR, 1, 2)
+	ak, _ := keymat.DeriveAssociation(ki, keymat.SuiteAESCTRSHA256, true)
+	bk, _ := keymat.DeriveAssociation(kr, keymat.SuiteAESCTRSHA256, false)
+	out, _ := NewOutbound(200, ak.Suite, ak.ESPEncOut, ak.ESPAuthOut)
+	good, _ := out.Seal([]byte("seed packet"))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, _ := NewInbound(200, bk.Suite, bk.ESPEncIn, bk.ESPAuthIn)
+		payload, err := in.Open(data)
+		if err == nil && string(payload) != "seed packet" {
+			t.Fatalf("inbound SA accepted forged packet: %q", payload)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"time"
+
+	"hipcloud/internal/cloud"
+	"hipcloud/internal/metrics"
+	"hipcloud/internal/rubis"
+	"hipcloud/internal/secio"
+	"hipcloud/internal/workload"
+)
+
+// Fig2Clients are the concurrency levels on the paper's Figure 2 x-axis.
+var Fig2Clients = []int{2, 3, 4, 6, 10, 20, 30, 50}
+
+// Fig2Point is one (scenario, clients) measurement.
+type Fig2Point struct {
+	Kind       secio.Kind
+	Clients    int
+	Throughput float64 // successful requests/second
+	MeanRT     time.Duration
+	Errors     int
+}
+
+// Fig2Config parameterizes the Figure 2 reproduction.
+type Fig2Config struct {
+	Profile  cloud.Profile
+	Duration time.Duration // per point (virtual); default 30s
+	Warmup   time.Duration // default 3s
+	Clients  []int
+	Seed     int64
+}
+
+func (c *Fig2Config) fill() {
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 3 * time.Second
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = Fig2Clients
+	}
+	if c.Profile.Name == "" {
+		c.Profile = cloud.EC2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunFig2Point measures one cell of Figure 2: the RUBiS service behind
+// the round-robin proxy, driven by `clients` concurrent closed-loop
+// clients issuing random GETs, with the inner hops on the scenario
+// transport and no database caching (as in the paper).
+func RunFig2Point(cfg Fig2Config, kind secio.Kind, clients int) Fig2Point {
+	cfg.fill()
+	d := Deploy(DeployConfig{
+		Profile: cfg.Profile,
+		Kind:    kind,
+		NumWeb:  3,
+		DBCache: false,
+		UseRSA:  true,
+		Seed:    cfg.Seed,
+		WithLB:  true,
+	})
+	mix := rubis.NewMix(cfg.Seed+int64(clients), d.DB.NumItems(), d.DB.NumUsers())
+	addr, port := d.FrontAddr()
+	w := &workload.ClosedLoop{
+		Transport: d.ClientT,
+		Target:    addr,
+		Port:      port,
+		Clients:   clients,
+		Duration:  cfg.Duration,
+		Warmup:    cfg.Warmup,
+		NextPath:  mix.Next,
+		Timeout:   8 * time.Second,
+	}
+	res := w.Run(d.Sim)
+	d.Sim.Run(cfg.Duration + 10*time.Second)
+	d.Sim.Shutdown()
+	return Fig2Point{
+		Kind:       kind,
+		Clients:    clients,
+		Throughput: res.Throughput(),
+		MeanRT:     res.Latency.Mean(),
+		Errors:     res.Errors,
+	}
+}
+
+// RunFig2 regenerates Figure 2: throughput vs concurrent clients for the
+// basic, HIP and SSL scenarios.
+func RunFig2(cfg Fig2Config) ([]Fig2Point, *metrics.Table) {
+	cfg.fill()
+	var points []Fig2Point
+	tbl := metrics.NewTable(
+		"Figure 2 — RUBiS throughput (req/s) vs concurrent clients ("+cfg.Profile.Name+")",
+		"clients", "basic", "hip", "ssl")
+	for _, n := range cfg.Clients {
+		row := make(map[secio.Kind]Fig2Point, 3)
+		for _, kind := range []secio.Kind{secio.Basic, secio.HIP, secio.SSL} {
+			pt := RunFig2Point(cfg, kind, n)
+			points = append(points, pt)
+			row[kind] = pt
+		}
+		tbl.Row(n, row[secio.Basic].Throughput, row[secio.HIP].Throughput, row[secio.SSL].Throughput)
+	}
+	tbl.Caption = "paper: basic clearly ahead at high concurrency; HIP ≈ SSL, HIP slightly lower at 50 clients (LSI translation)"
+	return points, tbl
+}

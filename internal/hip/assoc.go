@@ -1,0 +1,137 @@
+package hip
+
+import (
+	"net/netip"
+	"time"
+
+	"hipcloud/internal/esp"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/keymat"
+)
+
+// Association is the per-peer HIP security association.
+type Association struct {
+	PeerHIT     netip.Addr
+	PeerLocator netip.Addr
+	state       State
+	initiator   bool
+
+	localSPI, remoteSPI uint32
+	suite               keymat.Suite
+	keys                keymat.AssociationKeys
+	espPair             *esp.Pair
+	peerID              *identity.PublicID
+	// km is the association's KEYMAT stream; rekeys draw fresh ESP keys
+	// from it at an agreed index (RFC 5202 §3.3.2).
+	km *keymat.Keymat
+	// rekeying guards against concurrent rekey attempts; pendingRekey
+	// holds the proposed new inbound SPI until the peer confirms.
+	rekeying     bool
+	pendingRekey uint32
+	Rekeys       uint64
+
+	// Handshake scratch (initiator side).
+	puzzleI, puzzleJ uint64
+	dhPrivBytes      []byte // initiator ephemeral DH private key
+	establishedAt    time.Duration
+
+	// UPDATE machinery.
+	updateSeq     uint32 // our last sent update id
+	peerUpdateSeq uint32 // last peer update id we acked
+	pendingEcho   []byte // echo nonce we are waiting to have returned
+	pendingAddr   netip.Addr
+	// candidateAddr is a peer locator pending return-routability proof.
+	candidateAddr netip.Addr
+	echoSent      []byte // nonce we challenged the peer's new address with
+
+	// Retransmission state (one outstanding control packet per assoc).
+	retransPkt   []byte
+	retransDst   netip.Addr
+	retransAt    time.Duration
+	retransTries int
+
+	// Stats.
+	DataSent, DataRcvd uint64
+}
+
+// State returns the association state.
+func (a *Association) State() State { return a.state }
+
+// Initiator reports which side of the BEX this host was.
+func (a *Association) Initiator() bool { return a.initiator }
+
+// Suite returns the negotiated ESP transform.
+func (a *Association) Suite() keymat.Suite { return a.suite }
+
+// SPIs returns (local inbound, remote inbound) SPIs.
+func (a *Association) SPIs() (local, remote uint32) { return a.localSPI, a.remoteSPI }
+
+func (a *Association) setState(h *Host, s State) {
+	a.state = s
+}
+
+// armRetrans stores pkt for retransmission until cancelRetrans.
+func (a *Association) armRetrans(h *Host, dst netip.Addr, pkt []byte, now time.Duration) {
+	a.retransPkt = pkt
+	a.retransDst = dst
+	a.retransTries = 0
+	a.retransAt = now + h.cfg.RetransmitBase
+}
+
+func (a *Association) cancelRetrans() {
+	a.retransPkt = nil
+	a.retransAt = 0
+	a.retransTries = 0
+}
+
+// SealData encrypts an application payload for the peer, returning the ESP
+// packet and the locator to send it to. The caller picks the transport.
+// byLSI notes that the application addressed the peer via an LSI, charging
+// the extra translation cost the paper measures.
+func (h *Host) SealData(peerHIT netip.Addr, payload []byte, byLSI bool) (pkt []byte, dst netip.Addr, err error) {
+	a, ok := h.assocs[peerHIT]
+	if !ok {
+		return nil, netip.Addr{}, ErrNoAssociation
+	}
+	if a.state != Established && a.state != Closing {
+		return nil, netip.Addr{}, ErrNotEstablished
+	}
+	pkt, err = a.espPair.Out.Seal(payload)
+	if err != nil {
+		return nil, netip.Addr{}, err
+	}
+	h.cost += h.cfg.Costs.Symmetric(len(payload)) + h.cfg.Costs.ShimPerPacket
+	if byLSI {
+		h.cost += h.cfg.Costs.LSITranslation
+	}
+	a.DataSent += uint64(len(payload))
+	return pkt, a.PeerLocator, nil
+}
+
+// OpenData authenticates and decrypts an inbound ESP packet, demuxing by
+// SPI. It returns the payload and the peer HIT it arrived from.
+func (h *Host) OpenData(pkt []byte, byLSI bool) (payload []byte, peerHIT netip.Addr, err error) {
+	if len(pkt) < esp.HeaderLen {
+		return nil, netip.Addr{}, esp.ErrShort
+	}
+	spi := uint32(pkt[0])<<24 | uint32(pkt[1])<<16 | uint32(pkt[2])<<8 | uint32(pkt[3])
+	a, ok := h.bySPI[spi]
+	if !ok {
+		h.PacketsDropped++
+		return nil, netip.Addr{}, esp.ErrUnknownSPI
+	}
+	payload, err = a.espPair.In.Open(pkt)
+	if err != nil {
+		h.PacketsDropped++
+		return nil, netip.Addr{}, err
+	}
+	h.cost += h.cfg.Costs.Symmetric(len(payload)) + h.cfg.Costs.ShimPerPacket
+	if byLSI {
+		h.cost += h.cfg.Costs.LSITranslation
+	}
+	a.DataRcvd += uint64(len(payload))
+	return payload, a.PeerHIT, nil
+}
+
+// DataOverhead reports the ESP wire overhead for the association's suite.
+func (a *Association) DataOverhead() int { return esp.Overhead(a.suite) }

@@ -1,0 +1,65 @@
+package hip
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+
+	"hipcloud/internal/hipwire"
+)
+
+// The ENCRYPTED parameter (RFC 5201 §5.2.17) hides the initiator's
+// HOST_ID inside the I2, an identity-privacy option: a passive observer
+// of the handshake then learns only the initiator's HIT, not its public
+// key. Enabled with Config.EncryptHostID.
+
+// sealEncryptedParam encrypts an inner parameter body (here: the HOST_ID)
+// with AES-128-CBC under the HIP encryption key. The IV is derived from
+// the host RNG.
+func (h *Host) sealEncryptedParam(key []byte, innerType uint16, inner []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, aes.BlockSize)
+	h.rng.Read(iv)
+	// Plaintext: inner parameter type(2) + len(2) + body, zero padded.
+	pt := make([]byte, 4+len(inner))
+	pt[0], pt[1] = byte(innerType>>8), byte(innerType)
+	pt[2], pt[3] = byte(len(inner)>>8), byte(len(inner))
+	copy(pt[4:], inner)
+	if pad := aes.BlockSize - len(pt)%aes.BlockSize; pad != aes.BlockSize {
+		pt = append(pt, make([]byte, pad)...)
+	}
+	ct := make([]byte, len(pt))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(ct, pt)
+	h.cost += h.cfg.Costs.Symmetric(len(pt))
+	return hipwire.Encrypted{IV: iv, Ciphertext: ct}.Marshal(), nil
+}
+
+// openEncryptedParam reverses sealEncryptedParam, returning the inner
+// parameter type and body.
+func (h *Host) openEncryptedParam(key, body []byte) (innerType uint16, inner []byte, err error) {
+	enc, err := hipwire.ParseEncrypted(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(enc.IV) != aes.BlockSize || len(enc.Ciphertext) == 0 || len(enc.Ciphertext)%aes.BlockSize != 0 {
+		return 0, nil, hipwire.ErrEncrypted
+	}
+	pt := make([]byte, len(enc.Ciphertext))
+	cipher.NewCBCDecrypter(block, enc.IV).CryptBlocks(pt, enc.Ciphertext)
+	h.cost += h.cfg.Costs.Symmetric(len(pt))
+	if len(pt) < 4 {
+		return 0, nil, hipwire.ErrEncrypted
+	}
+	innerType = uint16(pt[0])<<8 | uint16(pt[1])
+	n := int(pt[2])<<8 | int(pt[3])
+	if 4+n > len(pt) {
+		return 0, nil, hipwire.ErrEncrypted
+	}
+	return innerType, pt[4 : 4+n], nil
+}

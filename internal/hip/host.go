@@ -1,0 +1,401 @@
+// Package hip implements the Host Identity Protocol control plane
+// (RFC 5201 base exchange, RFC 5202 ESP signaling, RFC 5206 mobility
+// updates, CLOSE teardown) as a sans-io state machine.
+//
+// A Host consumes inbound control packets, timer expirations and local
+// API calls (Connect, Close, MoveTo); it produces outbound packets
+// (drained with Outgoing), events (drained with Events) and an accumulated
+// virtual CPU cost (drained with TakeCost) that simulation drivers charge
+// to the owning VM's processor. Real-transport drivers simply discard the
+// cost — the crypto work was actually performed.
+package hip
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"hipcloud/internal/identity"
+	"hipcloud/internal/puzzle"
+)
+
+// Errors returned by the control plane.
+var (
+	ErrNoAssociation  = errors.New("hip: no association with peer")
+	ErrNotEstablished = errors.New("hip: association not established")
+	ErrHITMismatch    = errors.New("hip: host identity does not hash to sender HIT")
+	ErrAuthFailed     = errors.New("hip: packet authentication failed")
+	ErrPolicy         = errors.New("hip: peer rejected by policy")
+)
+
+// State is the HIP association state (RFC 5201 §4.4).
+type State int
+
+// Association states.
+const (
+	Unassociated State = iota
+	I1Sent
+	I2Sent
+	R2Sent
+	Established
+	Closing
+	Closed
+	Failed
+)
+
+func (s State) String() string {
+	switch s {
+	case Unassociated:
+		return "UNASSOCIATED"
+	case I1Sent:
+		return "I1-SENT"
+	case I2Sent:
+		return "I2-SENT"
+	case R2Sent:
+		return "R2-SENT"
+	case Established:
+		return "ESTABLISHED"
+	case Closing:
+		return "CLOSING"
+	case Closed:
+		return "CLOSED"
+	case Failed:
+		return "FAILED"
+	}
+	return "state(?)"
+}
+
+// CostModel maps cryptographic operations to virtual CPU time on a
+// reference core. Values are calibrated in internal/cloud for 2012-era
+// EC2 hardware; zero values mean "free" (used by real-transport drivers,
+// where the host CPU genuinely pays).
+type CostModel struct {
+	Sign      time.Duration // asymmetric signature generation
+	Verify    time.Duration // asymmetric signature verification
+	DHCompute time.Duration // Diffie-Hellman shared-secret computation
+	DHKeygen  time.Duration // Diffie-Hellman keypair generation
+	HashOp    time.Duration // one hash evaluation (puzzle attempts)
+	// Per-byte symmetric costs (encryption + MAC), in ns/byte.
+	SymmetricNsPerByte float64
+	// Per-packet fixed cost of the shim layer (HIT<->locator mapping).
+	ShimPerPacket time.Duration
+	// Extra per-packet cost when the application addressed the peer by
+	// LSI rather than HIT (the IPv4<->IPv6 translation the paper blames
+	// for the LSI penalty in Figure 3).
+	LSITranslation time.Duration
+}
+
+// Symmetric returns the virtual cost of symmetric crypto over n bytes.
+func (m CostModel) Symmetric(n int) time.Duration {
+	return time.Duration(m.SymmetricNsPerByte * float64(n))
+}
+
+// EventKind classifies events surfaced to drivers.
+type EventKind int
+
+// Event kinds.
+const (
+	EventEstablished EventKind = iota
+	EventClosed
+	EventFailed
+	EventLocatorChanged // peer moved; data should flow to the new address
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventEstablished:
+		return "established"
+	case EventClosed:
+		return "closed"
+	case EventFailed:
+		return "failed"
+	case EventLocatorChanged:
+		return "locator-changed"
+	}
+	return "event(?)"
+}
+
+// Event is one state-change notification.
+type Event struct {
+	Kind    EventKind
+	PeerHIT netip.Addr
+	Locator netip.Addr
+}
+
+// OutPacket is one control packet to transmit.
+type OutPacket struct {
+	Dst  netip.Addr
+	Data []byte
+}
+
+// Config configures a Host.
+type Config struct {
+	Identity *identity.HostIdentity
+	// DomainID is the optional FQDN placed in HOST_ID parameters.
+	DomainID string
+	// Locator is the host's current IP address.
+	Locator netip.Addr
+	// Costs is the virtual CPU cost model (zero = free).
+	Costs CostModel
+	// Puzzle controls responder difficulty; zero value uses
+	// puzzle.DefaultDifficulty.
+	Puzzle puzzle.Difficulty
+	// Rand is the randomness source for puzzle seeds, SPIs and nonces.
+	// Nil uses a fixed-seed math/rand source (fine for simulation;
+	// real drivers pass crypto/rand.Reader).
+	Rand io.Reader
+	// Policy, when non-nil, decides whether to accept an association
+	// from the given peer HIT (the hosts.allow/hosts.deny hook the
+	// paper describes; see internal/hipfw).
+	Policy func(peerHIT netip.Addr) bool
+	// RetransmitBase is the initial control-packet retransmission
+	// timeout (default 500ms, doubling up to 4 retries).
+	RetransmitBase time.Duration
+	// RekeyThreshold rekeys the ESP SAs after this many outbound
+	// packets (0 = DefaultRekeyThreshold). See Maintain.
+	RekeyThreshold uint32
+	// EncryptHostID hides the initiator's HOST_ID inside an ENCRYPTED
+	// parameter in I2 (identity privacy, RFC 5201 §5.2.17): a passive
+	// observer of the handshake learns only the HIT.
+	EncryptHostID bool
+}
+
+// Host is a HIP endpoint: identity, associations and the handshake
+// machinery.
+type Host struct {
+	cfg     Config
+	id      *identity.HostIdentity
+	locator netip.Addr
+
+	dhPriv *ecdh.PrivateKey // long-lived responder DH key (R1 pool key)
+	r1Tmpl map[uint8]*r1Template
+
+	assocs map[netip.Addr]*Association // by peer HIT
+	bySPI  map[uint32]*Association     // by local inbound SPI
+
+	out    []OutPacket
+	events []Event
+	cost   time.Duration
+
+	rng      *rand.Rand
+	r1Secret []byte // stateless puzzle-I derivation secret
+	// i1Load is an exponentially decayed I1 arrival counter (1 s time
+	// constant): the responder's load signal for puzzle difficulty.
+	i1Load float64
+	lastI1 time.Duration
+
+	// Stats visible to experiments.
+	BEXInitiated, BEXResponded, BEXCompleted uint64
+	PacketsDropped                           uint64
+}
+
+// r1Template is a pre-signed R1 for a given difficulty K (puzzle I and
+// opaque are zeroed in the signature input, per RFC 5201 §5.3.2, so the
+// template can be reused with fresh I values at zero signing cost).
+type r1Template struct {
+	packet *packetShell
+	sig    []byte
+}
+
+// packetShell keeps the R1 parameter set so per-request copies are cheap.
+type packetShell struct {
+	params []shellParam
+}
+
+type shellParam struct {
+	typ  uint16
+	data []byte
+}
+
+// NewHost creates a HIP host.
+func NewHost(cfg Config) (*Host, error) {
+	if cfg.Identity == nil {
+		return nil, errors.New("hip: Config.Identity is required")
+	}
+	if cfg.Puzzle == (puzzle.Difficulty{}) {
+		cfg.Puzzle = puzzle.DefaultDifficulty
+	}
+	if cfg.RetransmitBase <= 0 {
+		cfg.RetransmitBase = 500 * time.Millisecond
+	}
+	h := &Host{
+		cfg:     cfg,
+		id:      cfg.Identity,
+		locator: cfg.Locator,
+		assocs:  make(map[netip.Addr]*Association),
+		bySPI:   make(map[uint32]*Association),
+		r1Tmpl:  make(map[uint8]*r1Template),
+	}
+	seed := int64(1)
+	if cfg.Rand != nil {
+		var b [8]byte
+		if _, err := io.ReadFull(cfg.Rand, b[:]); err != nil {
+			return nil, fmt.Errorf("hip: seeding rng: %w", err)
+		}
+		seed = int64(binary.BigEndian.Uint64(b[:]))
+	}
+	h.rng = rand.New(rand.NewSource(seed))
+	h.r1Secret = make([]byte, 32)
+	h.rng.Read(h.r1Secret)
+	// Long-lived DH keypair (the "R1 pool" key). Charged as one keygen.
+	priv, err := ecdh.P256().GenerateKey(randReader{h.rng})
+	if err != nil {
+		return nil, fmt.Errorf("hip: DH keygen: %w", err)
+	}
+	h.dhPriv = priv
+	h.cost += h.cfg.Costs.DHKeygen
+	return h, nil
+}
+
+// randReader adapts math/rand to io.Reader for deterministic key
+// generation in simulations. Real deployments pass crypto/rand via
+// Config.Rand; determinism of simulated experiments matters more than key
+// secrecy inside the simulator.
+type randReader struct{ r *rand.Rand }
+
+func (rr randReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(rr.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+// HIT returns the host's HIT.
+func (h *Host) HIT() netip.Addr { return h.id.HIT() }
+
+// Identity returns the host identity.
+func (h *Host) Identity() *identity.HostIdentity { return h.id }
+
+// Locator returns the host's current locator.
+func (h *Host) Locator() netip.Addr { return h.locator }
+
+// LSIPenalty returns the configured per-packet LSI translation cost, so
+// drivers can charge it for inbound packets on LSI-mode flows.
+func (h *Host) LSIPenalty() time.Duration { return h.cfg.Costs.LSITranslation }
+
+// Outgoing drains queued control packets.
+func (h *Host) Outgoing() []OutPacket {
+	out := h.out
+	h.out = nil
+	return out
+}
+
+// Events drains queued events.
+func (h *Host) Events() []Event {
+	ev := h.events
+	h.events = nil
+	return ev
+}
+
+// TakeCost drains the accumulated virtual CPU cost.
+func (h *Host) TakeCost() time.Duration {
+	c := h.cost
+	h.cost = 0
+	return c
+}
+
+// Association returns the association with peerHIT, if any.
+func (h *Host) Association(peerHIT netip.Addr) (*Association, bool) {
+	a, ok := h.assocs[peerHIT]
+	return a, ok
+}
+
+// Associations returns all current associations.
+func (h *Host) Associations() []*Association {
+	out := make([]*Association, 0, len(h.assocs))
+	for _, a := range h.assocs {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (h *Host) emit(dst netip.Addr, data []byte) {
+	h.out = append(h.out, OutPacket{Dst: dst, Data: data})
+}
+
+func (h *Host) event(k EventKind, peer netip.Addr, loc netip.Addr) {
+	h.events = append(h.events, Event{Kind: k, PeerHIT: peer, Locator: loc})
+}
+
+// newSPI allocates a fresh local SPI.
+func (h *Host) newSPI() uint32 {
+	for {
+		spi := h.rng.Uint32()
+		if spi == 0 {
+			continue
+		}
+		if _, used := h.bySPI[spi]; !used {
+			return spi
+		}
+	}
+}
+
+// noteI1 updates the decayed I1 arrival counter and returns the load the
+// difficulty controller should see.
+func (h *Host) noteI1(now time.Duration) int {
+	if h.lastI1 != 0 {
+		dt := now - h.lastI1
+		if dt > 0 {
+			h.i1Load *= math.Exp(-float64(dt) / float64(time.Second))
+		}
+	}
+	h.lastI1 = now
+	h.i1Load++
+	return int(h.i1Load)
+}
+
+// I1Load exposes the responder's current decayed I1 arrival estimate.
+func (h *Host) I1Load() float64 { return h.i1Load }
+
+// statelessPuzzleI derives the puzzle I for an initiator without storing
+// state: HMAC(secret, HIT-I | HIT-R) truncated to 64 bits.
+func (h *Host) statelessPuzzleI(hitI, hitR netip.Addr) uint64 {
+	m := hmac.New(sha256.New, h.r1Secret)
+	a, b := hitI.As16(), hitR.As16()
+	m.Write(a[:])
+	m.Write(b[:])
+	return binary.BigEndian.Uint64(m.Sum(nil))
+}
+
+// NextDeadline returns the earliest retransmission deadline across all
+// associations (zero when none is armed).
+func (h *Host) NextDeadline() time.Duration {
+	var min time.Duration
+	for _, a := range h.assocs {
+		if a.retransAt != 0 && (min == 0 || a.retransAt < min) {
+			min = a.retransAt
+		}
+	}
+	return min
+}
+
+// OnTimer retransmits any control packets whose deadline has passed.
+func (h *Host) OnTimer(now time.Duration) {
+	for _, a := range h.assocs {
+		if a.retransAt == 0 || now < a.retransAt {
+			continue
+		}
+		if a.retransTries >= 4 {
+			a.retransAt = 0
+			a.setState(h, Failed)
+			h.event(EventFailed, a.PeerHIT, a.PeerLocator)
+			delete(h.assocs, a.PeerHIT)
+			if a.localSPI != 0 {
+				delete(h.bySPI, a.localSPI)
+			}
+			continue
+		}
+		a.retransTries++
+		backoff := h.cfg.RetransmitBase << uint(a.retransTries)
+		a.retransAt = now + backoff
+		h.emit(a.retransDst, a.retransPkt)
+	}
+}

@@ -1,0 +1,194 @@
+package hip
+
+import (
+	"net/netip"
+	"time"
+
+	"hipcloud/internal/esp"
+	"hipcloud/internal/hipwire"
+	"hipcloud/internal/keymat"
+)
+
+// DefaultRekeyThreshold is the outbound sequence count after which the
+// ESP SAs are rekeyed (well before the 32-bit sequence space nears
+// exhaustion; kept modest so long-lived associations rotate keys).
+const DefaultRekeyThreshold = 1 << 24
+
+// rekeyThreshold returns the configured or default rekey point.
+func (h *Host) rekeyThreshold() uint32 {
+	if h.cfg.RekeyThreshold > 0 {
+		return h.cfg.RekeyThreshold
+	}
+	return DefaultRekeyThreshold
+}
+
+// Maintain performs periodic association upkeep: it starts an ESP rekey
+// on any association whose outbound sequence numbers crossed the
+// threshold. Drivers call it from their timer loops. Only the original
+// base-exchange initiator starts rekeys, which keeps the two ends from
+// rekeying simultaneously and desynchronizing the KEYMAT stream.
+func (h *Host) Maintain(now time.Duration) {
+	for _, a := range h.assocs {
+		if a.state != Established || !a.initiator || a.rekeying || a.espPair == nil || a.km == nil {
+			continue
+		}
+		if a.espPair.Out.Seq() >= h.rekeyThreshold() {
+			h.startRekey(a, now)
+		}
+	}
+}
+
+// ForceRekey immediately starts an ESP rekey with the peer (initiator
+// side only; responders rekey when asked).
+func (h *Host) ForceRekey(peerHIT netip.Addr, now time.Duration) error {
+	a, ok := h.assocs[peerHIT]
+	if !ok {
+		return ErrNoAssociation
+	}
+	if a.state != Established {
+		return ErrNotEstablished
+	}
+	if a.rekeying || a.km == nil {
+		return nil
+	}
+	h.startRekey(a, now)
+	return nil
+}
+
+// startRekey sends UPDATE{ESP_INFO(old,new,keymat index), SEQ}.
+func (h *Host) startRekey(a *Association, now time.Duration) {
+	a.rekeying = true
+	a.pendingRekey = h.newSPI()
+	a.updateSeq++
+	u := &hipwire.Packet{Type: hipwire.UPDATE, SenderHIT: h.HIT(), ReceiverHIT: a.PeerHIT}
+	u.Add(hipwire.ParamESPInfo, hipwire.ESPInfo{
+		KeymatIndex: uint16(a.km.Drawn()),
+		OldSPI:      a.localSPI,
+		NewSPI:      a.pendingRekey,
+	}.Marshal())
+	u.Add(hipwire.ParamSeq, hipwire.MarshalSeq(a.updateSeq))
+	h.finishPacket(u, a.keys.HIPMacOut)
+	out := u.Marshal()
+	h.emit(a.PeerLocator, out)
+	a.armRetrans(h, a.PeerLocator, out, now)
+}
+
+// handleRekeyRequest processes the peer's UPDATE{ESP_INFO, SEQ}: derive
+// fresh keys, switch SAs and confirm with UPDATE{ESP_INFO, SEQ, ACK}.
+// Returns true when the packet was a rekey request.
+func (h *Host) handleRekeyRequest(a *Association, pkt *hipwire.Packet, src netip.Addr, now time.Duration) bool {
+	espP, hasESP := pkt.Get(hipwire.ParamESPInfo)
+	seqP, hasSeq := pkt.Get(hipwire.ParamSeq)
+	_, hasAck := pkt.Get(hipwire.ParamAck)
+	if !hasESP || !hasSeq || hasAck {
+		return false
+	}
+	ei, err := hipwire.ParseESPInfo(espP.Data)
+	if err != nil || ei.NewSPI == 0 {
+		return false
+	}
+	// Duplicate request (our confirmation was lost): resend it.
+	if ei.NewSPI == a.remoteSPI && a.retransPkt != nil {
+		h.emit(src, a.retransPkt)
+		return true
+	}
+	if ei.OldSPI != a.remoteSPI {
+		return false
+	}
+	peerSeq, err := hipwire.ParseSeq(seqP.Data)
+	if err != nil {
+		return true
+	}
+	if a.km == nil || uint16(a.km.Drawn()) != ei.KeymatIndex {
+		// KEYMAT desync would produce garbage keys; refuse.
+		h.notify(a.PeerHIT, src, hipwire.NotifyInvalidSyntax)
+		return true
+	}
+	keys, err := keymat.DeriveESPRekey(a.km, a.suite, a.initiator)
+	if err != nil {
+		return true
+	}
+	newLocal := h.newSPI()
+	if err := h.installRekeyedSAs(a, keys, newLocal, ei.NewSPI); err != nil {
+		return true
+	}
+	a.peerUpdateSeq = peerSeq
+	a.updateSeq++
+	u := &hipwire.Packet{Type: hipwire.UPDATE, SenderHIT: h.HIT(), ReceiverHIT: a.PeerHIT}
+	u.Add(hipwire.ParamESPInfo, hipwire.ESPInfo{
+		KeymatIndex: uint16(a.km.Drawn()),
+		OldSPI:      ei.OldSPI, // echo the peer's old SPI for matching
+		NewSPI:      newLocal,
+	}.Marshal())
+	u.Add(hipwire.ParamSeq, hipwire.MarshalSeq(a.updateSeq))
+	u.Add(hipwire.ParamAck, hipwire.MarshalAck([]uint32{peerSeq}))
+	h.finishPacket(u, a.keys.HIPMacOut)
+	out := u.Marshal()
+	h.emit(src, out)
+	a.armRetrans(h, src, out, now)
+	return true
+}
+
+// handleRekeyConfirm processes UPDATE{ESP_INFO, SEQ, ACK} at the rekey
+// initiator: derive the same keys, switch SAs and send the closing ACK.
+func (h *Host) handleRekeyConfirm(a *Association, pkt *hipwire.Packet, src netip.Addr, now time.Duration) bool {
+	espP, hasESP := pkt.Get(hipwire.ParamESPInfo)
+	seqP, hasSeq := pkt.Get(hipwire.ParamSeq)
+	ackP, hasAck := pkt.Get(hipwire.ParamAck)
+	if !hasESP || !hasSeq || !hasAck || !a.rekeying {
+		return false
+	}
+	acks, err := hipwire.ParseAck(ackP.Data)
+	if err != nil {
+		return true
+	}
+	acked := false
+	for _, id := range acks {
+		if id == a.updateSeq {
+			acked = true
+		}
+	}
+	if !acked {
+		return false
+	}
+	ei, err := hipwire.ParseESPInfo(espP.Data)
+	if err != nil || ei.NewSPI == 0 {
+		return true
+	}
+	keys, err := keymat.DeriveESPRekey(a.km, a.suite, a.initiator)
+	if err != nil {
+		return true
+	}
+	if err := h.installRekeyedSAs(a, keys, a.pendingRekey, ei.NewSPI); err != nil {
+		return true
+	}
+	a.rekeying = false
+	a.pendingRekey = 0
+	a.cancelRetrans()
+	// Close the exchange so the peer stops retransmitting.
+	if peerSeq, err := hipwire.ParseSeq(seqP.Data); err == nil {
+		u := &hipwire.Packet{Type: hipwire.UPDATE, SenderHIT: h.HIT(), ReceiverHIT: a.PeerHIT}
+		u.Add(hipwire.ParamAck, hipwire.MarshalAck([]uint32{peerSeq}))
+		h.finishPacket(u, a.keys.HIPMacOut)
+		h.emit(src, u.Marshal())
+	}
+	return true
+}
+
+// installRekeyedSAs swaps in fresh SAs under new SPIs, preserving the
+// control-plane keys.
+func (h *Host) installRekeyedSAs(a *Association, espKeys keymat.AssociationKeys, newLocal, newRemote uint32) error {
+	espKeys.HIPMacOut, espKeys.HIPMacIn = a.keys.HIPMacOut, a.keys.HIPMacIn
+	pair, err := esp.NewPair(espKeys, newLocal, newRemote)
+	if err != nil {
+		return err
+	}
+	delete(h.bySPI, a.localSPI)
+	a.localSPI, a.remoteSPI = newLocal, newRemote
+	a.keys = espKeys
+	a.espPair = pair
+	h.bySPI[newLocal] = a
+	a.Rekeys++
+	h.cost += h.cfg.Costs.HashOp * 8 // KEYMAT expansion
+	return nil
+}

@@ -1,0 +1,205 @@
+package hip
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestForceRekeySwapsSPIsAndKeys(t *testing.T) {
+	w := newWire(t)
+	a := newHost(t, idA, locA)
+	b := newHost(t, idB, locB)
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+	aa, _ := a.Association(b.HIT())
+	bb, _ := b.Association(a.HIT())
+	oldLocalA, oldRemoteA := aa.SPIs()
+
+	// Traffic works before.
+	pkt, _, err := a.SealData(b.HIT(), []byte("pre-rekey"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.OpenData(pkt, false); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.ForceRekey(b.HIT(), w.now); err != nil {
+		t.Fatal(err)
+	}
+	w.pump()
+
+	newLocalA, newRemoteA := aa.SPIs()
+	newLocalB, newRemoteB := bb.SPIs()
+	if newLocalA == oldLocalA || newRemoteA == oldRemoteA {
+		t.Fatalf("SPIs unchanged after rekey: local %d->%d remote %d->%d",
+			oldLocalA, newLocalA, oldRemoteA, newRemoteA)
+	}
+	if newLocalA != newRemoteB || newRemoteA != newLocalB {
+		t.Fatalf("SPI cross-match broken: a=(%d,%d) b=(%d,%d)",
+			newLocalA, newRemoteA, newLocalB, newRemoteB)
+	}
+	if aa.Rekeys != 1 || bb.Rekeys != 1 {
+		t.Fatalf("rekey counters: a=%d b=%d", aa.Rekeys, bb.Rekeys)
+	}
+	if aa.rekeying {
+		t.Fatal("rekeying flag stuck")
+	}
+
+	// Traffic still flows under the new keys, both directions.
+	pkt, _, err = a.SealData(b.HIT(), []byte("post-rekey a->b"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.OpenData(pkt, false)
+	if err != nil || string(got) != "post-rekey a->b" {
+		t.Fatalf("a->b after rekey: %q %v", got, err)
+	}
+	pkt, _, err = b.SealData(a.HIT(), []byte("post-rekey b->a"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = a.OpenData(pkt, false)
+	if err != nil || string(got) != "post-rekey b->a" {
+		t.Fatalf("b->a after rekey: %q %v", got, err)
+	}
+}
+
+func TestOldSPIRejectedAfterRekey(t *testing.T) {
+	w := newWire(t)
+	a := newHost(t, idA, locA)
+	b := newHost(t, idB, locB)
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+
+	// Capture a packet sealed under the old SA.
+	stale, _, err := a.SealData(b.HIT(), []byte("stale"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ForceRekey(b.HIT(), w.now); err != nil {
+		t.Fatal(err)
+	}
+	w.pump()
+	if _, _, err := b.OpenData(stale, false); err == nil {
+		t.Fatal("packet under retired SPI accepted after rekey")
+	}
+}
+
+func TestMaintainTriggersRekeyAtThreshold(t *testing.T) {
+	w := newWire(t)
+	a, err := NewHost(Config{Identity: idA, Locator: locA, RekeyThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newHost(t, idB, locB)
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+	aa, _ := a.Association(b.HIT())
+
+	for i := 0; i < 6; i++ {
+		pkt, _, err := a.SealData(b.HIT(), []byte("x"), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := b.OpenData(pkt, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Maintain(w.now)
+	w.pump()
+	if aa.Rekeys != 1 {
+		t.Fatalf("rekeys = %d after crossing threshold", aa.Rekeys)
+	}
+	// Maintain again below threshold: no second rekey.
+	a.Maintain(w.now)
+	w.pump()
+	if aa.Rekeys != 1 {
+		t.Fatalf("spurious extra rekey: %d", aa.Rekeys)
+	}
+	// Data still flows.
+	pkt, _, err := a.SealData(b.HIT(), []byte("after"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := b.OpenData(pkt, false); err != nil || string(got) != "after" {
+		t.Fatalf("post-maintain data: %q %v", got, err)
+	}
+}
+
+func TestRepeatedRekeysStayInSync(t *testing.T) {
+	w := newWire(t)
+	a := newHost(t, idA, locA)
+	b := newHost(t, idB, locB)
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+	aa, _ := a.Association(b.HIT())
+	for round := 1; round <= 5; round++ {
+		if err := a.ForceRekey(b.HIT(), w.now); err != nil {
+			t.Fatal(err)
+		}
+		w.pump()
+		if aa.Rekeys != uint64(round) {
+			t.Fatalf("round %d: rekeys = %d", round, aa.Rekeys)
+		}
+		msg := []byte{byte(round)}
+		pkt, _, err := a.SealData(b.HIT(), msg, false)
+		if err != nil {
+			t.Fatalf("round %d seal: %v", round, err)
+		}
+		if got, _, err := b.OpenData(pkt, false); err != nil || got[0] != byte(round) {
+			t.Fatalf("round %d data: %v %v", round, got, err)
+		}
+	}
+}
+
+func TestRekeyRequestRetransmissionHandled(t *testing.T) {
+	// Drop the responder's confirmation once: the initiator retransmits
+	// the request; the responder must resend the same confirmation
+	// rather than deriving keys twice (which would desync KEYMAT).
+	w := newWire(t)
+	a := newHost(t, idA, locA)
+	b := newHost(t, idB, locB)
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+	aa, _ := a.Association(b.HIT())
+	bb, _ := b.Association(a.HIT())
+
+	drop := true
+	w.loss = func(from, to netip.Addr, data []byte) bool {
+		// Drop exactly one packet: the first confirmation from B.
+		if drop && from == locB {
+			drop = false
+			return true
+		}
+		return false
+	}
+	if err := a.ForceRekey(b.HIT(), w.now); err != nil {
+		t.Fatal(err)
+	}
+	w.pump()
+	// Initiator still rekeying (confirmation lost); fire its timer.
+	if !aa.rekeying {
+		t.Fatal("expected pending rekey after dropped confirmation")
+	}
+	w.advance(2 * time.Second)
+	if aa.rekeying {
+		t.Fatal("rekey did not complete after retransmission")
+	}
+	if aa.Rekeys != 1 || bb.Rekeys != 1 {
+		t.Fatalf("rekeys a=%d b=%d, want 1 each", aa.Rekeys, bb.Rekeys)
+	}
+	pkt, _, err := a.SealData(b.HIT(), []byte("ok"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := b.OpenData(pkt, false); err != nil || string(got) != "ok" {
+		t.Fatalf("data after lossy rekey: %q %v", got, err)
+	}
+}

@@ -1,0 +1,224 @@
+package hip
+
+import (
+	"bytes"
+	"net/netip"
+	"time"
+
+	"hipcloud/internal/hipwire"
+)
+
+// MoveTo rehomes the host to a new locator (VM migration / mobility) and
+// notifies every established peer with a HIP UPDATE carrying a LOCATOR
+// parameter. Peers verify the new address with an echo challenge before
+// redirecting data to it (RFC 5206 return-routability).
+func (h *Host) MoveTo(newLocator netip.Addr, now time.Duration) {
+	h.locator = newLocator
+	for _, a := range h.assocs {
+		if a.state != Established {
+			continue
+		}
+		a.updateSeq++
+		u := &hipwire.Packet{Type: hipwire.UPDATE, SenderHIT: h.HIT(), ReceiverHIT: a.PeerHIT}
+		u.Add(hipwire.ParamLocator, hipwire.MarshalLocators([]hipwire.Locator{
+			{Preferred: true, Lifetime: 120, Addr: newLocator},
+		}))
+		u.Add(hipwire.ParamSeq, hipwire.MarshalSeq(a.updateSeq))
+		h.finishPacket(u, a.keys.HIPMacOut)
+		out := u.Marshal()
+		h.emit(a.PeerLocator, out)
+		a.armRetrans(h, a.PeerLocator, out, now)
+	}
+}
+
+func (h *Host) handleUpdate(pkt *hipwire.Packet, src netip.Addr, now time.Duration) {
+	a, ok := h.assocs[pkt.SenderHIT]
+	if !ok || (a.state != Established && a.state != Closing) {
+		return
+	}
+	if !verifyPacketHMAC(pkt, a.keys.HIPMacIn) {
+		return
+	}
+	h.cost += h.cfg.Costs.Verify
+	if err := verifyPacketSig(pkt, a.peerID); err != nil {
+		return
+	}
+
+	// Rekey exchanges carry ESP_INFO and are handled separately.
+	if h.handleRekeyConfirm(a, pkt, src, now) {
+		return
+	}
+	if h.handleRekeyRequest(a, pkt, src, now) {
+		return
+	}
+
+	seqP, hasSeq := pkt.Get(hipwire.ParamSeq)
+	ackP, hasAck := pkt.Get(hipwire.ParamAck)
+	echoReqP, hasEchoReq := pkt.Get(hipwire.ParamEchoRequestSigned)
+	echoRespP, hasEchoResp := pkt.Get(hipwire.ParamEchoResponseSigned)
+	locP, hasLoc := pkt.Get(hipwire.ParamLocator)
+
+	// A bare ACK closes an exchange (e.g. the tail of a rekey): cancel
+	// the matching retransmission.
+	if hasAck && !hasSeq && !hasEchoReq && !hasEchoResp && !hasLoc {
+		if acks, err := hipwire.ParseAck(ackP.Data); err == nil {
+			for _, id := range acks {
+				if id == a.updateSeq {
+					a.cancelRetrans()
+				}
+			}
+		}
+		return
+	}
+
+	// Case 1: peer announces a new locator (SEQ + LOCATOR, no ACK):
+	// challenge the claimed address with an echo nonce.
+	if hasSeq && hasLoc && !hasAck {
+		peerSeq, err := hipwire.ParseSeq(seqP.Data)
+		if err != nil {
+			return
+		}
+		locs, err := hipwire.ParseLocators(locP.Data)
+		if err != nil || len(locs) == 0 {
+			return
+		}
+		newAddr := locs[0].Addr
+		for _, l := range locs {
+			if l.Preferred {
+				newAddr = l.Addr
+			}
+		}
+		a.peerUpdateSeq = peerSeq
+		a.candidateAddr = newAddr
+		nonce := make([]byte, 16)
+		h.rng.Read(nonce)
+		a.echoSent = nonce
+		a.updateSeq++
+		u := &hipwire.Packet{Type: hipwire.UPDATE, SenderHIT: h.HIT(), ReceiverHIT: a.PeerHIT}
+		u.Add(hipwire.ParamSeq, hipwire.MarshalSeq(a.updateSeq))
+		u.Add(hipwire.ParamAck, hipwire.MarshalAck([]uint32{peerSeq}))
+		u.Add(hipwire.ParamEchoRequestSigned, nonce)
+		h.finishPacket(u, a.keys.HIPMacOut)
+		out := u.Marshal()
+		// Challenge goes to the *claimed* new address: reaching the peer
+		// there proves return routability.
+		h.emit(newAddr, out)
+		a.armRetrans(h, newAddr, out, now)
+		return
+	}
+
+	// Case 2: our announcement was acked and we are challenged: echo the
+	// nonce back from the new address.
+	if hasAck && hasEchoReq {
+		acks, err := hipwire.ParseAck(ackP.Data)
+		if err != nil {
+			return
+		}
+		for _, id := range acks {
+			if id == a.updateSeq {
+				a.cancelRetrans()
+			}
+		}
+		var peerSeq uint32
+		if hasSeq {
+			peerSeq, _ = hipwire.ParseSeq(seqP.Data)
+		}
+		u := &hipwire.Packet{Type: hipwire.UPDATE, SenderHIT: h.HIT(), ReceiverHIT: a.PeerHIT}
+		if peerSeq != 0 {
+			u.Add(hipwire.ParamAck, hipwire.MarshalAck([]uint32{peerSeq}))
+		}
+		u.Add(hipwire.ParamEchoResponseSigned, echoReqP.Data)
+		h.finishPacket(u, a.keys.HIPMacOut)
+		h.emit(src, u.Marshal())
+		return
+	}
+
+	// Case 3: echo response: the peer's new address is verified.
+	if hasEchoResp {
+		if hasAck {
+			acks, err := hipwire.ParseAck(ackP.Data)
+			if err != nil {
+				return
+			}
+			for _, id := range acks {
+				if id == a.updateSeq {
+					a.cancelRetrans()
+				}
+			}
+		}
+		if a.echoSent != nil && bytes.Equal(echoRespP.Data, a.echoSent) && a.candidateAddr.IsValid() {
+			a.PeerLocator = a.candidateAddr
+			a.echoSent = nil
+			a.candidateAddr = netip.Addr{}
+			h.event(EventLocatorChanged, a.PeerHIT, a.PeerLocator)
+		}
+		return
+	}
+}
+
+// Close starts an orderly association teardown.
+func (h *Host) Close(peerHIT netip.Addr, now time.Duration) error {
+	a, ok := h.assocs[peerHIT]
+	if !ok {
+		return ErrNoAssociation
+	}
+	if a.state != Established {
+		return ErrNotEstablished
+	}
+	a.state = Closing
+	c := &hipwire.Packet{Type: hipwire.CLOSE, SenderHIT: h.HIT(), ReceiverHIT: peerHIT}
+	nonce := make([]byte, 16)
+	h.rng.Read(nonce)
+	c.Add(hipwire.ParamEchoRequestSigned, nonce)
+	h.finishPacket(c, a.keys.HIPMacOut)
+	out := c.Marshal()
+	h.emit(a.PeerLocator, out)
+	a.armRetrans(h, a.PeerLocator, out, now)
+	return nil
+}
+
+func (h *Host) handleClose(pkt *hipwire.Packet, src netip.Addr, now time.Duration) {
+	a, ok := h.assocs[pkt.SenderHIT]
+	if !ok {
+		return
+	}
+	if !verifyPacketHMAC(pkt, a.keys.HIPMacIn) {
+		return
+	}
+	h.cost += h.cfg.Costs.Verify
+	if err := verifyPacketSig(pkt, a.peerID); err != nil {
+		return
+	}
+	ack := &hipwire.Packet{Type: hipwire.CLOSEACK, SenderHIT: h.HIT(), ReceiverHIT: a.PeerHIT}
+	if echo, ok := pkt.Get(hipwire.ParamEchoRequestSigned); ok {
+		ack.Add(hipwire.ParamEchoResponseSigned, echo.Data)
+	}
+	h.finishPacket(ack, a.keys.HIPMacOut)
+	h.emit(src, ack.Marshal())
+	h.teardown(a)
+}
+
+func (h *Host) handleCloseAck(pkt *hipwire.Packet, src netip.Addr, now time.Duration) {
+	a, ok := h.assocs[pkt.SenderHIT]
+	if !ok || a.state != Closing {
+		return
+	}
+	if !verifyPacketHMAC(pkt, a.keys.HIPMacIn) {
+		return
+	}
+	h.cost += h.cfg.Costs.Verify
+	if err := verifyPacketSig(pkt, a.peerID); err != nil {
+		return
+	}
+	a.cancelRetrans()
+	h.teardown(a)
+}
+
+func (h *Host) teardown(a *Association) {
+	a.state = Closed
+	delete(h.assocs, a.PeerHIT)
+	if a.localSPI != 0 {
+		delete(h.bySPI, a.localSPI)
+	}
+	h.event(EventClosed, a.PeerHIT, a.PeerLocator)
+}

@@ -1,0 +1,20 @@
+package hipdns
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// FuzzParseMessage must never panic on arbitrary datagrams.
+func FuzzParseMessage(f *testing.F) {
+	f.Add(encodeQuery(1, "web1.cloud", TypeA))
+	f.Add(encodeResponse(2, "db.cloud", TypeHIP, []Record{{
+		Type: TypeHIP, TTL: time.Minute,
+		HIP: &HIPRecord{HIT: netip.MustParseAddr("2001:10::1"), PublicKey: []byte{1, 2, 3}},
+	}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = parseMessage(data)
+	})
+}

@@ -1,0 +1,478 @@
+// Package hipsim binds a HIP host (hipcloud/internal/hip) to a simulated
+// node (hipcloud/internal/netsim): it is the "shim layer" of the paper.
+//
+// Applications address peers by HIT or LSI; the fabric resolves the
+// identifier to a locator, runs the base exchange on first contact, seals
+// every transport segment in BEET-mode ESP and charges all cryptographic
+// work to the VM's simulated CPU. It implements simtcp.Fabric, so the
+// same stream/HTTP/RUBiS code runs over plain, HIP and TLS transports.
+package hipsim
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"hipcloud/internal/esp"
+	"hipcloud/internal/hip"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/netsim"
+)
+
+// Errors returned by the fabric.
+var (
+	ErrUnknownPeer = errors.New("hipsim: cannot resolve peer identifier")
+	ErrBEXFailed   = errors.New("hipsim: base exchange failed")
+	ErrBEXTimeout  = errors.New("hipsim: base exchange timed out")
+)
+
+// Registry maps HITs to current locators and LSIs to HITs — the role DNS
+// HIP RRs (or static hosts files) play in a HIPL deployment.
+type Registry struct {
+	byHIT map[netip.Addr]netip.Addr // HIT -> locator
+	lsis  *identity.LSIAllocator
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byHIT: make(map[netip.Addr]netip.Addr),
+		lsis:  identity.NewLSIAllocator(),
+	}
+}
+
+// Register binds a HIT to its locator and returns the HIT's LSI.
+func (r *Registry) Register(hit, locator netip.Addr) netip.Addr {
+	r.byHIT[hit] = locator
+	lsi, err := r.lsis.Assign(hit)
+	if err != nil {
+		panic("hipsim: registering non-HIT: " + err.Error())
+	}
+	return lsi
+}
+
+// Update changes the locator of a HIT (VM migration).
+func (r *Registry) Update(hit, locator netip.Addr) { r.byHIT[hit] = locator }
+
+// Resolve turns a HIT or LSI into (HIT, locator, wasLSI).
+func (r *Registry) Resolve(peer netip.Addr) (hit, locator netip.Addr, byLSI bool, err error) {
+	if identity.IsLSI(peer) {
+		h, ok := r.lsis.Lookup(peer)
+		if !ok {
+			return netip.Addr{}, netip.Addr{}, false, ErrUnknownPeer
+		}
+		peer, byLSI = h, true
+	}
+	if !identity.IsHIT(peer) {
+		return netip.Addr{}, netip.Addr{}, false, ErrUnknownPeer
+	}
+	loc, ok := r.byHIT[peer]
+	if !ok {
+		return netip.Addr{}, netip.Addr{}, false, ErrUnknownPeer
+	}
+	return peer, loc, byLSI, nil
+}
+
+// LSI returns the LSI assigned to hit, allocating one if needed.
+func (r *Registry) LSI(hit netip.Addr) netip.Addr {
+	lsi, err := r.lsis.Assign(hit)
+	if err != nil {
+		panic(err)
+	}
+	return lsi
+}
+
+// Inner payload types carried inside ESP.
+const (
+	innerStream byte = 1
+	innerEchoRq byte = 2
+	innerEchoRp byte = 3
+)
+
+// Underlay carries HIP control and ESP packets for a fabric. The default
+// underlay sends directly on the node's interfaces; the Teredo underlay
+// (hipcloud/internal/teredo) tunnels them in IPv6-over-UDP-over-IPv4, the
+// paper's HIT(Teredo)/LSI(Teredo) configurations.
+type Underlay interface {
+	// LocalAddr is the locator the HIP host should announce.
+	LocalAddr() netip.Addr
+	// Send transmits a raw protocol payload to dst.
+	Send(proto netsim.Proto, dst netip.Addr, payload []byte)
+	// Tap registers the inbound handler for a protocol (scheduler ctx).
+	Tap(proto netsim.Proto, fn func(src netip.Addr, payload []byte))
+}
+
+// nodeUnderlay sends directly over the simulated node.
+type nodeUnderlay struct{ node *netsim.Node }
+
+func (u nodeUnderlay) LocalAddr() netip.Addr { return u.node.Addr() }
+
+func (u nodeUnderlay) Send(proto netsim.Proto, dst netip.Addr, payload []byte) {
+	u.node.SendRaw(proto, netip.AddrPortFrom(u.node.Addr(), 0), netip.AddrPortFrom(dst, 0), payload, 0)
+}
+
+func (u nodeUnderlay) Tap(proto netsim.Proto, fn func(src netip.Addr, payload []byte)) {
+	u.node.TapRaw(proto, func(pkt *netsim.Packet) { fn(pkt.Src.Addr(), pkt.Payload) })
+}
+
+// Fabric is the per-node HIP shim. It implements simtcp.Fabric.
+type Fabric struct {
+	node *netsim.Node
+	host *hip.Host
+	reg  *Registry
+	ul   Underlay
+
+	deliver func(peer netip.Addr, data []byte, cost time.Duration)
+
+	ctlQ   []ctlPkt
+	debt   time.Duration
+	wakeQ  *netsim.WaitQueue
+	estabQ map[netip.Addr]*netsim.WaitQueue
+	estabE map[netip.Addr]error
+
+	echoSeq uint64
+	echoes  map[uint64]*echoWait
+	closed  bool
+	// lsiPeers marks peers the local application addresses by LSI; every
+	// packet on such flows pays the translation penalty in both
+	// directions, as the paper measures.
+	lsiPeers map[netip.Addr]bool
+	// BEXTimeout bounds Establish (default 10s).
+	BEXTimeout time.Duration
+}
+
+type ctlPkt struct {
+	data []byte
+	src  netip.Addr
+}
+
+type echoWait struct {
+	wq   *netsim.WaitQueue
+	done bool
+	rtt  time.Duration
+	sent netsim.VTime
+}
+
+// New attaches a HIP host to a node with the direct underlay. The host's
+// locator must equal the node's address; the HIT is registered in reg.
+func New(node *netsim.Node, host *hip.Host, reg *Registry) *Fabric {
+	return NewWithUnderlay(node, host, reg, nodeUnderlay{node})
+}
+
+// NewWithUnderlay attaches a HIP host to a node sending through the given
+// underlay (e.g. a Teredo tunnel). The underlay's local address is
+// registered as the HIT's locator.
+func NewWithUnderlay(node *netsim.Node, host *hip.Host, reg *Registry, ul Underlay) *Fabric {
+	f := &Fabric{
+		node:       node,
+		host:       host,
+		reg:        reg,
+		ul:         ul,
+		wakeQ:      netsim.NewWaitQueue(node.Net().Sim()),
+		estabQ:     make(map[netip.Addr]*netsim.WaitQueue),
+		estabE:     make(map[netip.Addr]error),
+		echoes:     make(map[uint64]*echoWait),
+		lsiPeers:   make(map[netip.Addr]bool),
+		BEXTimeout: 10 * time.Second,
+	}
+	reg.Register(host.HIT(), ul.LocalAddr())
+	ul.Tap(netsim.ProtoHIP, f.onControl)
+	ul.Tap(netsim.ProtoESP, f.onData)
+	node.Net().Sim().Spawn(node.Name()+"/hipd", f.kernel)
+	return f
+}
+
+// Host returns the underlying HIP host.
+func (f *Fabric) Host() *hip.Host { return f.host }
+
+// onControl queues a HIP control packet for the kernel process.
+func (f *Fabric) onControl(src netip.Addr, payload []byte) {
+	if f.closed {
+		return
+	}
+	f.ctlQ = append(f.ctlQ, ctlPkt{data: payload, src: src})
+	f.wakeQ.WakeOne()
+}
+
+// onData decrypts an inbound ESP packet and routes the inner payload
+// (scheduler context; decode cost is handed to the consumer as debt).
+func (f *Fabric) onData(src netip.Addr, raw []byte) {
+	if f.closed {
+		return
+	}
+	payload, peerHIT, err := f.host.OpenData(raw, false)
+	cost := f.host.TakeCost()
+	if err == nil && f.lsiPeers[peerHIT] {
+		cost += f.host.LSIPenalty()
+	}
+	if err != nil {
+		f.debt += cost
+		f.wakeQ.WakeOne()
+		return
+	}
+	if len(payload) == 0 {
+		return
+	}
+	inner, body := payload[0], payload[1:]
+	switch inner {
+	case innerStream:
+		if f.deliver != nil {
+			f.deliver(peerHIT, body, cost)
+		}
+	case innerEchoRq:
+		// Echo handling models processing latency directly: open + seal
+		// (and LSI translation) delay the reply on the wire, as they do
+		// for a real ping through the shim.
+		reply := append([]byte{innerEchoRp}, body...)
+		out, dst, serr := f.host.SealData(peerHIT, reply, f.lsiPeers[peerHIT])
+		total := cost + f.host.TakeCost()
+		if serr == nil {
+			f.node.Net().Sim().After(total, func() { f.sendESP(dst, out) })
+		}
+	case innerEchoRp:
+		if len(body) >= 8 {
+			id := beUint64(body[:8])
+			if w := f.echoes[id]; w != nil && !w.done {
+				sim := f.node.Net().Sim()
+				sim.After(cost, func() {
+					if w.done {
+						return
+					}
+					w.done = true
+					w.rtt = sim.Now() - w.sent
+					w.wq.WakeAll()
+				})
+			}
+		}
+	}
+}
+
+func (f *Fabric) sendESP(dstLocator netip.Addr, espPkt []byte) {
+	f.ul.Send(netsim.ProtoESP, dstLocator, espPkt)
+}
+
+// kernel is the HIP daemon process: it charges CPU for control-plane
+// work, processes queued control packets, flushes outgoing packets,
+// dispatches events and drives retransmission timers.
+func (f *Fabric) kernel(p *netsim.Proc) {
+	for !f.closed {
+		if f.debt > 0 {
+			d := f.debt
+			f.debt = 0
+			f.node.CPU().Use(p, d)
+		}
+		for len(f.ctlQ) > 0 {
+			item := f.ctlQ[0]
+			f.ctlQ = f.ctlQ[1:]
+			f.host.OnPacket(item.data, item.src, p.Now())
+			if c := f.host.TakeCost(); c > 0 {
+				f.node.CPU().Use(p, c)
+			}
+		}
+		f.host.Maintain(p.Now())
+		f.flush(p)
+		if len(f.ctlQ) > 0 || f.debt > 0 {
+			continue
+		}
+		next := f.host.NextDeadline()
+		if next == 0 {
+			// Idle: wake periodically for housekeeping (rekey checks).
+			f.wakeQ.Wait(p, time.Second)
+			continue
+		}
+		d := next - p.Now()
+		if d > 0 {
+			if !f.wakeQ.Wait(p, d) {
+				continue
+			}
+		}
+		f.host.OnTimer(p.Now())
+		if c := f.host.TakeCost(); c > 0 {
+			f.node.CPU().Use(p, c)
+		}
+		f.flush(p)
+	}
+}
+
+// flush sends outgoing control packets and dispatches host events.
+func (f *Fabric) flush(p *netsim.Proc) {
+	for _, op := range f.host.Outgoing() {
+		f.ul.Send(netsim.ProtoHIP, op.Dst, op.Data)
+	}
+	for _, ev := range f.host.Events() {
+		switch ev.Kind {
+		case hip.EventEstablished:
+			f.estabE[ev.PeerHIT] = nil
+			if q := f.estabQ[ev.PeerHIT]; q != nil {
+				q.WakeAll()
+			}
+		case hip.EventFailed:
+			f.estabE[ev.PeerHIT] = ErrBEXFailed
+			if q := f.estabQ[ev.PeerHIT]; q != nil {
+				q.WakeAll()
+			}
+		}
+	}
+}
+
+// Canonical resolves a HIT or LSI to the canonical HIT, remembering LSI
+// mode for the peer (simtcp.Fabric).
+func (f *Fabric) Canonical(peer netip.Addr) (netip.Addr, error) {
+	hit, _, byLSI, err := f.reg.Resolve(peer)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	if byLSI {
+		f.lsiPeers[hit] = true
+	}
+	return hit, nil
+}
+
+// Establish resolves peer and runs the base exchange if needed, blocking p.
+func (f *Fabric) Establish(p *netsim.Proc, peer netip.Addr) error {
+	hit, locator, _, err := f.reg.Resolve(peer)
+	if err != nil {
+		return err
+	}
+	if a, ok := f.host.Association(hit); ok && a.State() == hip.Established {
+		return nil
+	}
+	delete(f.estabE, hit)
+	if err := f.host.Connect(hit, locator, p.Now()); err != nil {
+		return err
+	}
+	if c := f.host.TakeCost(); c > 0 {
+		f.node.CPU().Use(p, c)
+	}
+	f.flushFromProc(p)
+	q := f.estabQ[hit]
+	if q == nil {
+		q = netsim.NewWaitQueue(f.node.Net().Sim())
+		f.estabQ[hit] = q
+	}
+	deadline := p.Now() + f.BEXTimeout
+	for {
+		if a, ok := f.host.Association(hit); ok && a.State() == hip.Established {
+			return nil
+		}
+		if err, done := f.estabE[hit]; done && err != nil {
+			return err
+		}
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return ErrBEXTimeout
+		}
+		if q.Wait(p, remain) {
+			return ErrBEXTimeout
+		}
+	}
+}
+
+// flushFromProc flushes pending outgoing control packets from a non-kernel
+// process (e.g. the I1 emitted by Connect); the kernel also wakes to keep
+// timers armed.
+func (f *Fabric) flushFromProc(p *netsim.Proc) {
+	f.flush(p)
+	f.wakeQ.WakeOne()
+}
+
+// Send seals one stream segment for the peer. Called by the simtcp pump.
+func (f *Fabric) Send(peer netip.Addr, data []byte) (time.Duration, error) {
+	hit, _, byLSI, err := f.reg.Resolve(peer)
+	if err != nil {
+		return 0, err
+	}
+	payload := append([]byte{innerStream}, data...)
+	out, dst, err := f.host.SealData(hit, payload, byLSI || f.lsiPeers[hit])
+	cost := f.host.TakeCost()
+	if err != nil {
+		return cost, err
+	}
+	f.sendESP(dst, out)
+	return cost, nil
+}
+
+// Attach installs the delivery callback (simtcp.Fabric).
+func (f *Fabric) Attach(deliver func(peer netip.Addr, data []byte, cost time.Duration)) {
+	f.deliver = deliver
+}
+
+// Ping sends an in-tunnel echo of the given payload size to peer (HIT or
+// LSI) and returns the RTT, establishing the association first if needed.
+// This is the HIP analogue of the paper's ICMP RTT measurements.
+func (f *Fabric) Ping(p *netsim.Proc, peer netip.Addr, size int, timeout time.Duration) (time.Duration, error) {
+	if err := f.Establish(p, peer); err != nil {
+		return 0, err
+	}
+	hit, _, byLSI, err := f.reg.Resolve(peer)
+	if err != nil {
+		return 0, err
+	}
+	f.echoSeq++
+	id := f.echoSeq
+	if size < 9 {
+		size = 9
+	}
+	body := make([]byte, size)
+	body[0] = innerEchoRq
+	putUint64(body[1:9], id)
+	w := &echoWait{wq: netsim.NewWaitQueue(f.node.Net().Sim()), sent: p.Now()}
+	f.echoes[id] = w
+	defer delete(f.echoes, id)
+	out, dst, err := f.host.SealData(hit, body, byLSI)
+	if err != nil {
+		return 0, err
+	}
+	if c := f.host.TakeCost(); c > 0 {
+		f.node.CPU().Use(p, c)
+	}
+	f.sendESP(dst, out)
+	if !w.done {
+		if w.wq.Wait(p, timeout) {
+			return 0, netsim.ErrTimeout
+		}
+	}
+	return w.rtt, nil
+}
+
+// DataOverheadBytes reports the per-segment ESP overhead for established
+// associations with peer, for wire-size accounting.
+func (f *Fabric) DataOverheadBytes(peer netip.Addr) int {
+	hit, _, _, err := f.reg.Resolve(peer)
+	if err != nil {
+		return 0
+	}
+	if a, ok := f.host.Association(hit); ok {
+		return a.DataOverhead() + 1 // inner type byte
+	}
+	return esp.HeaderLen + esp.ICVLen + 1
+}
+
+// MoveTo rehomes the fabric's host to a new locator (VM migration /
+// IPv4-IPv6 handover): the HIP UPDATE announcements are sent immediately
+// and the registry entry follows so new peers resolve the new address.
+func (f *Fabric) MoveTo(newLocator netip.Addr) {
+	f.host.MoveTo(newLocator, f.node.Net().Sim().Now())
+	f.reg.Update(f.host.HIT(), newLocator)
+	f.wakeQ.WakeOne()
+}
+
+// Close stops the fabric's kernel process at the next wake.
+func (f *Fabric) Close() {
+	f.closed = true
+	f.wakeQ.WakeAll()
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

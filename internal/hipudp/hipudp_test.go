@@ -1,0 +1,266 @@
+package hipudp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"hipcloud/internal/hip"
+	"hipcloud/internal/identity"
+)
+
+var (
+	idA = identity.MustGenerate(identity.AlgECDSA)
+	idB = identity.MustGenerate(identity.AlgECDSA)
+)
+
+// pair brings up two stacks on localhost and cross-registers them.
+func pair(t *testing.T) (*Stack, *Stack) {
+	t.Helper()
+	mk := func(id *identity.HostIdentity) *Stack {
+		h, err := hip.NewHost(hip.Config{Identity: id, Locator: netip.MustParseAddr("127.0.0.1")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStack(h, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(idA), mk(idB)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	epA := netip.MustParseAddrPort(fmt.Sprintf("127.0.0.1:%d", a.LocalAddr().Port))
+	epB := netip.MustParseAddrPort(fmt.Sprintf("127.0.0.1:%d", b.LocalAddr().Port))
+	a.AddPeer(idB.HIT(), epB)
+	b.AddPeer(idA.HIT(), epA)
+	return a, b
+}
+
+func TestRealUDPBaseExchange(t *testing.T) {
+	a, b := pair(t)
+	if err := a.Establish(idB.HIT(), 5*time.Second); err != nil {
+		t.Fatalf("establish: %v", err)
+	}
+	// Both sides hold an established association.
+	if st, ok := a.AssociationState(idB.HIT()); !ok || st != hip.Established {
+		t.Fatal("initiator association missing")
+	}
+	if st, ok := b.AssociationState(idA.HIT()); !ok || st != hip.Established {
+		t.Fatal("responder association missing")
+	}
+	// Idempotent re-establish.
+	if err := a.Establish(idB.HIT(), time.Second); err != nil {
+		t.Fatalf("re-establish: %v", err)
+	}
+}
+
+func TestRealUDPStreamEcho(t *testing.T) {
+	a, b := pair(t)
+	l, err := b.Listen(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 256)
+		n, err := c.Read(buf)
+		if err != nil {
+			return
+		}
+		c.Write(buf[:n])
+		c.Close()
+	}()
+	c, err := a.Dial(idB.HIT(), 7, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	msg := []byte("encrypted echo over real udp")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 256)
+	n, err := c.Read(buf)
+	if err != nil || !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("read: %q %v", buf[:n], err)
+	}
+	if c.PeerHIT() != idB.HIT() {
+		t.Fatal("peer HIT mismatch")
+	}
+	c.Close()
+}
+
+func TestRealUDPBulkTransfer(t *testing.T) {
+	a, b := pair(t)
+	l, err := b.Listen(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 300 << 10
+	recvDone := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			recvDone <- nil
+			return
+		}
+		var got []byte
+		buf := make([]byte, 32*1024)
+		for len(got) < total {
+			n, err := c.Read(buf)
+			if n > 0 {
+				got = append(got, buf[:n]...)
+			}
+			if err != nil {
+				break
+			}
+		}
+		recvDone <- got
+	}()
+	c, err := a.Dial(idB.HIT(), 9, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, total)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if _, err := c.Write(data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.Close()
+	select {
+	case got := <-recvDone:
+		if !bytes.Equal(got, data) {
+			t.Fatalf("bulk mismatch: %d of %d bytes", len(got), total)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("bulk transfer timed out")
+	}
+}
+
+func TestDialUnknownPeer(t *testing.T) {
+	a, _ := pair(t)
+	if _, err := a.Dial(idA.HIT(), 7, time.Second); err != ErrUnknownPeer {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	a, _ := pair(t)
+	_, err := a.Dial(idB.HIT(), 4242, 2*time.Second)
+	if err == nil {
+		t.Fatal("dial succeeded without listener")
+	}
+}
+
+func TestCloseUnblocksReaders(t *testing.T) {
+	a, b := pair(t)
+	l, _ := b.Listen(7)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	}()
+	c, err := a.Dial(idB.HIT(), 7, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read returned nil after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader not unblocked by Close")
+	}
+}
+
+func TestMultiplePeersShareOneIP(t *testing.T) {
+	// Three stacks on 127.0.0.1 with different ports: HIP locators carry
+	// no port, so endpoint resolution must demux by HIT (regression test
+	// for the localhost-proxy scenario).
+	ids := []*identity.HostIdentity{
+		identity.MustGenerate(identity.AlgECDSA),
+		identity.MustGenerate(identity.AlgECDSA),
+		identity.MustGenerate(identity.AlgECDSA),
+	}
+	var stacks []*Stack
+	for _, id := range ids {
+		h, err := hip.NewHost(hip.Config{Identity: id, Locator: netip.MustParseAddr("127.0.0.1")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStack(h, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stacks = append(stacks, s)
+		t.Cleanup(func() { s.Close() })
+	}
+	ep := func(s *Stack) netip.AddrPort {
+		return netip.MustParseAddrPort(fmt.Sprintf("127.0.0.1:%d", s.LocalAddr().Port))
+	}
+	// Stack 0 is the client; 1 and 2 are servers it knows by HIT.
+	for i := 1; i <= 2; i++ {
+		stacks[0].AddPeer(ids[i].HIT(), ep(stacks[i]))
+		stacks[i].AddPeer(ids[0].HIT(), ep(stacks[0]))
+	}
+	for i := 1; i <= 2; i++ {
+		srv := stacks[i]
+		l, err := srv.Listen(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := i
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer c.Close()
+					buf := make([]byte, 64)
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+					c.Write([]byte(fmt.Sprintf("server-%d", idx)))
+				}()
+			}
+		}()
+	}
+	// Both servers must be independently reachable despite the shared IP.
+	for i := 1; i <= 2; i++ {
+		c, err := stacks[0].Dial(ids[i].HIT(), 80, 5*time.Second)
+		if err != nil {
+			t.Fatalf("dial server %d: %v", i, err)
+		}
+		c.Write([]byte("who are you"))
+		buf := make([]byte, 64)
+		n, err := c.Read(buf)
+		if err != nil {
+			t.Fatalf("read from server %d: %v", i, err)
+		}
+		want := fmt.Sprintf("server-%d", i)
+		if string(buf[:n]) != want {
+			t.Fatalf("got %q, want %q — endpoint demux crossed peers", buf[:n], want)
+		}
+		c.Close()
+	}
+}

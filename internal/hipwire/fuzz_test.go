@@ -1,0 +1,33 @@
+package hipwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse drives the packet parser with mutated inputs; it must never
+// panic and any packet it accepts must re-marshal consistently.
+func FuzzParse(f *testing.F) {
+	p := &Packet{Type: I2, SenderHIT: hitA, ReceiverHIT: hitB}
+	p.Add(ParamPuzzle, Puzzle{K: 10, I: 7}.Marshal())
+	p.Add(ParamSolution, Solution{K: 10, I: 7, J: 9}.Marshal())
+	p.Add(ParamHostID, HostID{Algorithm: 5, HI: bytes.Repeat([]byte{2}, 64), DI: "x"}.Marshal())
+	p.Add(ParamHMAC, bytes.Repeat([]byte{1}, 32))
+	f.Add(p.Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted packets must survive a marshal/parse round trip.
+		again, err := Parse(pkt.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of accepted packet failed: %v", err)
+		}
+		if again.Type != pkt.Type || len(again.Params) != len(pkt.Params) {
+			t.Fatalf("round trip changed packet: %v vs %v", again, pkt)
+		}
+	})
+}

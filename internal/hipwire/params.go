@@ -1,0 +1,399 @@
+package hipwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+)
+
+// Puzzle is the PUZZLE parameter (RFC 5201 §5.2.4): the responder's
+// cookie challenge.
+type Puzzle struct {
+	K        uint8 // difficulty: number of leading zero bits required
+	Lifetime uint8 // puzzle lifetime exponent
+	Opaque   uint16
+	I        uint64 // random value
+}
+
+// Marshal encodes the puzzle parameter body.
+func (p Puzzle) Marshal() []byte {
+	b := make([]byte, 12)
+	b[0] = p.K
+	b[1] = p.Lifetime
+	binary.BigEndian.PutUint16(b[2:], p.Opaque)
+	binary.BigEndian.PutUint64(b[4:], p.I)
+	return b
+}
+
+// ParsePuzzle decodes a PUZZLE body.
+func ParsePuzzle(b []byte) (Puzzle, error) {
+	if len(b) < 12 {
+		return Puzzle{}, ErrBadParam
+	}
+	return Puzzle{
+		K: b[0], Lifetime: b[1],
+		Opaque: binary.BigEndian.Uint16(b[2:]),
+		I:      binary.BigEndian.Uint64(b[4:]),
+	}, nil
+}
+
+// Solution is the SOLUTION parameter (RFC 5201 §5.2.5).
+type Solution struct {
+	K        uint8
+	Lifetime uint8
+	Opaque   uint16
+	I        uint64
+	J        uint64 // the initiator's answer
+}
+
+// Marshal encodes the solution parameter body.
+func (s Solution) Marshal() []byte {
+	b := make([]byte, 20)
+	b[0] = s.K
+	b[1] = s.Lifetime
+	binary.BigEndian.PutUint16(b[2:], s.Opaque)
+	binary.BigEndian.PutUint64(b[4:], s.I)
+	binary.BigEndian.PutUint64(b[12:], s.J)
+	return b
+}
+
+// ParseSolution decodes a SOLUTION body.
+func ParseSolution(b []byte) (Solution, error) {
+	if len(b) < 20 {
+		return Solution{}, ErrBadParam
+	}
+	return Solution{
+		K: b[0], Lifetime: b[1],
+		Opaque: binary.BigEndian.Uint16(b[2:]),
+		I:      binary.BigEndian.Uint64(b[4:]),
+		J:      binary.BigEndian.Uint64(b[12:]),
+	}, nil
+}
+
+// DiffieHellman is the DIFFIE_HELLMAN parameter: group and public value.
+type DiffieHellman struct {
+	Group  uint8
+	Public []byte
+}
+
+// DH group ids (RFC 7401 registry; ECDH NIST P-256 is group 7).
+const (
+	DHGroupP256 uint8 = 7
+	DHGroupP384 uint8 = 8
+)
+
+// Marshal encodes the DH parameter body.
+func (d DiffieHellman) Marshal() []byte {
+	b := make([]byte, 3+len(d.Public))
+	b[0] = d.Group
+	binary.BigEndian.PutUint16(b[1:], uint16(len(d.Public)))
+	copy(b[3:], d.Public)
+	return b
+}
+
+// ParseDiffieHellman decodes a DIFFIE_HELLMAN body.
+func ParseDiffieHellman(b []byte) (DiffieHellman, error) {
+	if len(b) < 3 {
+		return DiffieHellman{}, ErrBadParam
+	}
+	n := int(binary.BigEndian.Uint16(b[1:]))
+	if len(b) < 3+n {
+		return DiffieHellman{}, ErrBadParam
+	}
+	return DiffieHellman{Group: b[0], Public: append([]byte(nil), b[3:3+n]...)}, nil
+}
+
+// CipherList is the HIP_CIPHER / ESP_TRANSFORM body: preference-ordered
+// suite ids.
+type CipherList []uint16
+
+// Marshal encodes the suite list.
+func (c CipherList) Marshal() []byte {
+	b := make([]byte, 2*len(c))
+	for i, id := range c {
+		binary.BigEndian.PutUint16(b[2*i:], id)
+	}
+	return b
+}
+
+// ParseCipherList decodes a suite list body.
+func ParseCipherList(b []byte) (CipherList, error) {
+	if len(b)%2 != 0 {
+		return nil, ErrBadParam
+	}
+	out := make(CipherList, len(b)/2)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint16(b[2*i:])
+	}
+	return out, nil
+}
+
+// HostID is the HOST_ID parameter: the sender's public key and an optional
+// domain identifier (FQDN).
+type HostID struct {
+	Algorithm uint16
+	HI        []byte // PKIX DER public key
+	DI        string // domain identifier, may be empty
+}
+
+// Marshal encodes the HOST_ID body.
+func (h HostID) Marshal() []byte {
+	di := []byte(h.DI)
+	b := make([]byte, 6+len(h.HI)+len(di))
+	binary.BigEndian.PutUint16(b[0:], uint16(len(h.HI)))
+	binary.BigEndian.PutUint16(b[2:], uint16(len(di)))
+	binary.BigEndian.PutUint16(b[4:], h.Algorithm)
+	copy(b[6:], h.HI)
+	copy(b[6+len(h.HI):], di)
+	return b
+}
+
+// ParseHostID decodes a HOST_ID body.
+func ParseHostID(b []byte) (HostID, error) {
+	if len(b) < 6 {
+		return HostID{}, ErrBadParam
+	}
+	hiLen := int(binary.BigEndian.Uint16(b[0:]))
+	diLen := int(binary.BigEndian.Uint16(b[2:]))
+	if len(b) < 6+hiLen+diLen {
+		return HostID{}, ErrBadParam
+	}
+	return HostID{
+		Algorithm: binary.BigEndian.Uint16(b[4:]),
+		HI:        append([]byte(nil), b[6:6+hiLen]...),
+		DI:        string(b[6+hiLen : 6+hiLen+diLen]),
+	}, nil
+}
+
+// ESPInfo is the ESP_INFO parameter (RFC 5202): SPI signaling.
+type ESPInfo struct {
+	KeymatIndex uint16
+	OldSPI      uint32
+	NewSPI      uint32
+}
+
+// Marshal encodes the ESP_INFO body.
+func (e ESPInfo) Marshal() []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[2:], e.KeymatIndex)
+	binary.BigEndian.PutUint32(b[4:], e.OldSPI)
+	binary.BigEndian.PutUint32(b[8:], e.NewSPI)
+	return b
+}
+
+// ParseESPInfo decodes an ESP_INFO body.
+func ParseESPInfo(b []byte) (ESPInfo, error) {
+	if len(b) < 12 {
+		return ESPInfo{}, ErrBadParam
+	}
+	return ESPInfo{
+		KeymatIndex: binary.BigEndian.Uint16(b[2:]),
+		OldSPI:      binary.BigEndian.Uint32(b[4:]),
+		NewSPI:      binary.BigEndian.Uint32(b[8:]),
+	}, nil
+}
+
+// Locator is one locator entry of the LOCATOR parameter (RFC 5206).
+type Locator struct {
+	Preferred bool
+	Lifetime  uint32
+	Addr      netip.Addr // stored 16-byte, v4 as v4-mapped
+}
+
+// MarshalLocators encodes a LOCATOR body.
+func MarshalLocators(ls []Locator) []byte {
+	b := make([]byte, 0, len(ls)*24)
+	for _, l := range ls {
+		e := make([]byte, 24)
+		e[0] = 1  // traffic type: both signaling and data
+		e[1] = 1  // locator type: ESP SPI + IPv6/IPv4-mapped
+		e[2] = 16 // locator length in bytes
+		if l.Preferred {
+			e[3] = 1
+		}
+		binary.BigEndian.PutUint32(e[4:], l.Lifetime)
+		var a16 [16]byte
+		if l.Addr.Is4() {
+			a16 = netip.AddrFrom16(l.Addr.As16()).As16()
+		} else {
+			a16 = l.Addr.As16()
+		}
+		copy(e[8:], a16[:])
+		b = append(b, e...)
+	}
+	return b
+}
+
+// ParseLocators decodes a LOCATOR body.
+func ParseLocators(b []byte) ([]Locator, error) {
+	if len(b)%24 != 0 {
+		return nil, ErrBadParam
+	}
+	var out []Locator
+	for off := 0; off < len(b); off += 24 {
+		e := b[off : off+24]
+		var a16 [16]byte
+		copy(a16[:], e[8:24])
+		addr := netip.AddrFrom16(a16)
+		if addr.Is4In6() {
+			addr = addr.Unmap()
+		}
+		out = append(out, Locator{
+			Preferred: e[3]&1 == 1,
+			Lifetime:  binary.BigEndian.Uint32(e[4:]),
+			Addr:      addr,
+		})
+	}
+	return out, nil
+}
+
+// MarshalSeq encodes a SEQ body (update id).
+func MarshalSeq(id uint32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, id)
+	return b
+}
+
+// ParseSeq decodes a SEQ body.
+func ParseSeq(b []byte) (uint32, error) {
+	if len(b) < 4 {
+		return 0, ErrBadParam
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// MarshalAck encodes an ACK body (peer update ids).
+func MarshalAck(ids []uint32) []byte {
+	b := make([]byte, 4*len(ids))
+	for i, id := range ids {
+		binary.BigEndian.PutUint32(b[4*i:], id)
+	}
+	return b
+}
+
+// ParseAck decodes an ACK body.
+func ParseAck(b []byte) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return nil, ErrBadParam
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+// Signature is the HIP_SIGNATURE body.
+type Signature struct {
+	Algorithm uint16
+	Sig       []byte
+}
+
+// Marshal encodes the signature body.
+func (s Signature) Marshal() []byte {
+	b := make([]byte, 2+len(s.Sig))
+	binary.BigEndian.PutUint16(b, s.Algorithm)
+	copy(b[2:], s.Sig)
+	return b
+}
+
+// ParseSignature decodes a HIP_SIGNATURE body.
+func ParseSignature(b []byte) (Signature, error) {
+	if len(b) < 2 {
+		return Signature{}, ErrBadParam
+	}
+	return Signature{
+		Algorithm: binary.BigEndian.Uint16(b),
+		Sig:       append([]byte(nil), b[2:]...),
+	}, nil
+}
+
+// Notification is the NOTIFICATION body.
+type Notification struct {
+	Type uint16
+	Data []byte
+}
+
+// Notification message types (RFC 5201 §5.2.16, subset).
+const (
+	NotifyInvalidSyntax        uint16 = 7
+	NotifyNoDHProposalChosen   uint16 = 14
+	NotifyInvalidPuzzleSol     uint16 = 20
+	NotifyAuthenticationFailed uint16 = 24
+	NotifyChecksumFailed       uint16 = 26
+	NotifyBlockedByPolicy      uint16 = 42
+	NotifyI2Acknowledgement    uint16 = 16384
+)
+
+// Marshal encodes the notification body.
+func (n Notification) Marshal() []byte {
+	b := make([]byte, 4+len(n.Data))
+	binary.BigEndian.PutUint16(b[2:], n.Type)
+	copy(b[4:], n.Data)
+	return b
+}
+
+// ParseNotification decodes a NOTIFICATION body.
+func ParseNotification(b []byte) (Notification, error) {
+	if len(b) < 4 {
+		return Notification{}, ErrBadParam
+	}
+	return Notification{
+		Type: binary.BigEndian.Uint16(b[2:]),
+		Data: append([]byte(nil), b[4:]...),
+	}, nil
+}
+
+// MarshalAddr encodes a FROM / VIA_RVS body (one 16-byte address).
+func MarshalAddr(a netip.Addr) []byte {
+	a16 := a.As16()
+	return a16[:]
+}
+
+// ParseAddr decodes a 16-byte address body.
+func ParseAddr(b []byte) (netip.Addr, error) {
+	if len(b) < 16 {
+		return netip.Addr{}, ErrBadParam
+	}
+	var a16 [16]byte
+	copy(a16[:], b)
+	a := netip.AddrFrom16(a16)
+	if a.Is4In6() {
+		a = a.Unmap()
+	}
+	return a, nil
+}
+
+// ErrEncrypted is returned when an ENCRYPTED parameter cannot be decoded.
+var ErrEncrypted = errors.New("hipwire: bad ENCRYPTED parameter")
+
+// Encrypted is the ENCRYPTED parameter body: an IV and ciphertext whose
+// plaintext is itself a parameter list.
+type Encrypted struct {
+	IV         []byte
+	Ciphertext []byte
+}
+
+// Marshal encodes the ENCRYPTED body.
+func (e Encrypted) Marshal() []byte {
+	b := make([]byte, 5+len(e.IV)+len(e.Ciphertext))
+	b[4] = byte(len(e.IV))
+	copy(b[5:], e.IV)
+	copy(b[5+len(e.IV):], e.Ciphertext)
+	return b
+}
+
+// ParseEncrypted decodes the ENCRYPTED body.
+func ParseEncrypted(b []byte) (Encrypted, error) {
+	if len(b) < 5 {
+		return Encrypted{}, ErrEncrypted
+	}
+	ivLen := int(b[4])
+	if len(b) < 5+ivLen {
+		return Encrypted{}, ErrEncrypted
+	}
+	return Encrypted{
+		IV:         append([]byte(nil), b[5:5+ivLen]...),
+		Ciphertext: append([]byte(nil), b[5+ivLen:]...),
+	}, nil
+}

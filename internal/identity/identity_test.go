@@ -1,0 +1,205 @@
+package identity
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// cached identities: RSA keygen is slow; share across tests.
+var (
+	rsaHI   = MustGenerate(AlgRSA)
+	ecHI    = MustGenerate(AlgECDSA)
+	edHI    = MustGenerate(AlgEd25519)
+	testHIs = []*HostIdentity{rsaHI, ecHI, edHI}
+)
+
+func TestHITHasORCHIDPrefix(t *testing.T) {
+	for _, hi := range testHIs {
+		hit := hi.HIT()
+		if !IsHIT(hit) {
+			t.Errorf("%v: HIT %v not in %v", hi.Algorithm(), hit, HITPrefix)
+		}
+		if !hit.Is6() {
+			t.Errorf("%v: HIT is not IPv6", hi.Algorithm())
+		}
+	}
+}
+
+func TestHITStableAndDistinct(t *testing.T) {
+	seen := map[netip.Addr]bool{}
+	for _, hi := range testHIs {
+		pub, err := ParsePublicID(hi.Algorithm(), hi.Public().DER)
+		if err != nil {
+			t.Fatalf("%v: reparse: %v", hi.Algorithm(), err)
+		}
+		if pub.HIT() != hi.HIT() {
+			t.Errorf("%v: HIT changed across reparse: %v vs %v", hi.Algorithm(), pub.HIT(), hi.HIT())
+		}
+		if seen[hi.HIT()] {
+			t.Errorf("HIT collision for %v", hi.Algorithm())
+		}
+		seen[hi.HIT()] = true
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	msg := []byte("the base exchange packet contents")
+	for _, hi := range testHIs {
+		sig, err := hi.Sign(msg)
+		if err != nil {
+			t.Fatalf("%v: sign: %v", hi.Algorithm(), err)
+		}
+		pub := hi.Public()
+		if err := pub.Verify(msg, sig); err != nil {
+			t.Errorf("%v: verify: %v", hi.Algorithm(), err)
+		}
+		bad := append([]byte(nil), msg...)
+		bad[0] ^= 0xff
+		if err := pub.Verify(bad, sig); err == nil {
+			t.Errorf("%v: tampered message verified", hi.Algorithm())
+		}
+		badSig := append([]byte(nil), sig...)
+		badSig[len(badSig)/2] ^= 0x01
+		if err := pub.Verify(msg, badSig); err == nil {
+			t.Errorf("%v: tampered signature verified", hi.Algorithm())
+		}
+	}
+}
+
+func TestCrossKeyVerifyFails(t *testing.T) {
+	msg := []byte("hello")
+	sig, err := ecHI.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := MustGenerate(AlgECDSA).Public()
+	if err := other.Verify(msg, sig); err == nil {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestParsePublicIDRejectsGarbage(t *testing.T) {
+	if _, err := ParsePublicID(AlgRSA, []byte("not DER at all")); err == nil {
+		t.Fatal("garbage DER accepted")
+	}
+	// Valid DER of the wrong algorithm must be rejected.
+	if _, err := ParsePublicID(AlgRSA, ecHI.Public().DER); err != ErrBadAlgorithm {
+		t.Fatalf("wrong-alg err = %v, want ErrBadAlgorithm", err)
+	}
+	if _, err := ParsePublicID(Algorithm(42), ecHI.Public().DER); err != ErrBadAlgorithm {
+		t.Fatalf("unknown-alg err = %v, want ErrBadAlgorithm", err)
+	}
+}
+
+func TestGenerateUnknownAlgorithm(t *testing.T) {
+	if _, err := Generate(AlgDSA); err != ErrBadAlgorithm {
+		t.Fatalf("err = %v, want ErrBadAlgorithm", err)
+	}
+}
+
+func TestLSIFromHIT(t *testing.T) {
+	lsi, err := LSIFromHIT(ecHI.HIT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsLSI(lsi) {
+		t.Fatalf("derived LSI %v not in %v", lsi, LSIPrefix)
+	}
+	again, _ := LSIFromHIT(ecHI.HIT())
+	if lsi != again {
+		t.Fatal("LSI derivation not deterministic")
+	}
+	if _, err := LSIFromHIT(netip.MustParseAddr("192.0.2.1")); err != ErrNotHIT {
+		t.Fatalf("err = %v, want ErrNotHIT", err)
+	}
+}
+
+func TestLSIAllocatorUniqueAndReversible(t *testing.T) {
+	a := NewLSIAllocator()
+	hits := []netip.Addr{rsaHI.HIT(), ecHI.HIT(), edHI.HIT()}
+	seen := map[netip.Addr]netip.Addr{}
+	for _, hit := range hits {
+		lsi, err := a.Assign(hit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prior, dup := seen[lsi]; dup {
+			t.Fatalf("LSI %v assigned to both %v and %v", lsi, prior, hit)
+		}
+		seen[lsi] = hit
+		back, ok := a.Lookup(lsi)
+		if !ok || back != hit {
+			t.Fatalf("Lookup(%v) = %v,%v", lsi, back, ok)
+		}
+		// Idempotent.
+		lsi2, _ := a.Assign(hit)
+		if lsi2 != lsi {
+			t.Fatalf("re-Assign changed LSI: %v vs %v", lsi2, lsi)
+		}
+	}
+}
+
+func TestLSIAllocatorCollisionFallback(t *testing.T) {
+	a := NewLSIAllocator()
+	hit1 := ecHI.HIT()
+	lsi1, _ := a.Assign(hit1)
+	// Force the derived LSI of a second HIT to collide by pre-inserting it.
+	hit2 := rsaHI.HIT()
+	derived, _ := LSIFromHIT(hit2)
+	a.byLSI[derived] = hit1 // simulate collision
+	lsi2, err := a.Assign(hit2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsi2 == derived || lsi2 == lsi1 {
+		t.Fatalf("collision not avoided: %v", lsi2)
+	}
+	if !IsLSI(lsi2) {
+		t.Fatalf("fallback LSI %v outside prefix", lsi2)
+	}
+}
+
+func TestDeriveHITPropertyPrefixAlwaysORCHID(t *testing.T) {
+	f := func(der []byte) bool {
+		return HITPrefix.Contains(deriveHIT(der))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveHITPropertyDistinctInputsDistinctTags(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		return deriveHIT(a) != deriveHIT(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSignVerifyECDSA(b *testing.B) {
+	msg := []byte("base exchange packet bytes for signing")
+	for i := 0; i < b.N; i++ {
+		sig, err := ecHI.Sign(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pub := ecHI.Public()
+		if err := pub.Verify(msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHITDerivation(b *testing.B) {
+	der := ecHI.Public().DER
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = deriveHIT(der)
+	}
+}

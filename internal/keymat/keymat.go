@@ -1,0 +1,223 @@
+// Package keymat implements HIP keying-material derivation (RFC 5201
+// §6.5) and the cipher-suite registry shared by the HIP control plane,
+// the ESP data plane and the TLS-like baseline.
+//
+// KEYMAT = K1 | K2 | ... with
+//
+//	K1 = H(Kij | sort(HIT-I|HIT-R) | I | J | 0x01)
+//	Kn = H(Kij | Kn-1 | n)
+//
+// where Kij is the Diffie-Hellman shared secret and I, J come from the
+// puzzle. Keys are drawn in order: HIP-lsg, HIP-gls integrity keys, then
+// ESP encryption/integrity keys for each direction.
+package keymat
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Suite identifies a symmetric protection suite (ESP transform / HIP
+// cipher). Values follow the RFC 5202 ESP transform registry spirit.
+type Suite uint16
+
+// Supported suites.
+const (
+	SuiteReserved     Suite = 0
+	SuiteAESCBCSHA256 Suite = 2 // AES-128-CBC + HMAC-SHA-256
+	SuiteNullSHA256   Suite = 3 // NULL cipher + HMAC-SHA-256 (integrity only)
+	SuiteAESCTRSHA256 Suite = 4 // AES-128-CTR + HMAC-SHA-256
+)
+
+func (s Suite) String() string {
+	switch s {
+	case SuiteAESCBCSHA256:
+		return "AES-CBC-SHA256"
+	case SuiteNullSHA256:
+		return "NULL-SHA256"
+	case SuiteAESCTRSHA256:
+		return "AES-CTR-SHA256"
+	}
+	return fmt.Sprintf("suite(%d)", uint16(s))
+}
+
+// ErrUnknownSuite is returned for unregistered suite ids.
+var ErrUnknownSuite = errors.New("keymat: unknown cipher suite")
+
+// EncKeyLen returns the encryption key length for the suite.
+func (s Suite) EncKeyLen() (int, error) {
+	switch s {
+	case SuiteAESCBCSHA256, SuiteAESCTRSHA256:
+		return 16, nil
+	case SuiteNullSHA256:
+		return 0, nil
+	}
+	return 0, ErrUnknownSuite
+}
+
+// AuthKeyLen returns the integrity key length for the suite.
+func (s Suite) AuthKeyLen() (int, error) {
+	switch s {
+	case SuiteAESCBCSHA256, SuiteAESCTRSHA256, SuiteNullSHA256:
+		return 32, nil
+	}
+	return 0, ErrUnknownSuite
+}
+
+// Preferred is the default preference-ordered proposal list.
+var Preferred = []Suite{SuiteAESCTRSHA256, SuiteAESCBCSHA256, SuiteNullSHA256}
+
+// Negotiate picks the first of the responder's preferences present in the
+// initiator's offer (responder chooses, per RFC 5201).
+func Negotiate(offer, prefs []Suite) (Suite, error) {
+	for _, want := range prefs {
+		for _, got := range offer {
+			if got == want {
+				return want, nil
+			}
+		}
+	}
+	return SuiteReserved, ErrUnknownSuite
+}
+
+// Keymat is a deterministic key stream derived from the base exchange.
+type Keymat struct {
+	kij   []byte
+	hits  []byte // sorted concatenation of the two HITs
+	ij    [16]byte
+	prev  []byte // previous block Kn-1
+	block uint8
+	buf   bytes.Buffer
+	drawn int
+}
+
+// New creates the key stream for the association. dhSecret is Kij; i and j
+// come from the puzzle exchange.
+func New(dhSecret []byte, hitI, hitR netip.Addr, i, j uint64) *Keymat {
+	a, b := hitI.As16(), hitR.As16()
+	var hits []byte
+	if bytes.Compare(a[:], b[:]) < 0 {
+		hits = append(append([]byte{}, a[:]...), b[:]...)
+	} else {
+		hits = append(append([]byte{}, b[:]...), a[:]...)
+	}
+	k := &Keymat{kij: append([]byte(nil), dhSecret...), hits: hits}
+	binary.BigEndian.PutUint64(k.ij[0:], i)
+	binary.BigEndian.PutUint64(k.ij[8:], j)
+	return k
+}
+
+func (k *Keymat) extend() {
+	h := sha256.New()
+	h.Write(k.kij)
+	if k.block == 0 {
+		h.Write(k.hits)
+		h.Write(k.ij[:])
+		h.Write([]byte{1})
+		k.block = 1
+	} else {
+		k.block++
+		h.Write(k.prev)
+		h.Write([]byte{k.block})
+	}
+	k.prev = h.Sum(nil)
+	k.buf.Write(k.prev)
+}
+
+// Draw returns the next n bytes of keying material.
+func (k *Keymat) Draw(n int) []byte {
+	for k.buf.Len() < n {
+		k.extend()
+	}
+	out := make([]byte, n)
+	if _, err := k.buf.Read(out); err != nil {
+		panic("keymat: internal buffer underflow: " + err.Error())
+	}
+	k.drawn += n
+	return out
+}
+
+// Drawn reports total bytes drawn (the KEYMAT index).
+func (k *Keymat) Drawn() int { return k.drawn }
+
+// AssociationKeys is the full key set for one HIP association.
+type AssociationKeys struct {
+	Suite Suite
+	// HIP control-plane encryption keys (ENCRYPTED parameter), one per
+	// direction; drawn first, as in RFC 5201's KEYMAT order.
+	HIPEncOut, HIPEncIn []byte
+	// HIP control-plane integrity keys, one per direction.
+	HIPMacOut, HIPMacIn []byte
+	// ESP keys, one pair per direction.
+	ESPEncOut, ESPAuthOut []byte
+	ESPEncIn, ESPAuthIn   []byte
+}
+
+// DeriveAssociation draws the standard key layout. The initiator draws
+// out-keys first; the responder mirrors by passing initiator=false so both
+// sides agree on directionality (RFC 5201 draws HIP-I→R first).
+func DeriveAssociation(k *Keymat, s Suite, initiator bool) (AssociationKeys, error) {
+	encLen, err := s.EncKeyLen()
+	if err != nil {
+		return AssociationKeys{}, err
+	}
+	authLen, err := s.AuthKeyLen()
+	if err != nil {
+		return AssociationKeys{}, err
+	}
+	// Draw order (RFC 5201 §6.5): HIP I→R enc, HIP I→R mac, HIP R→I enc,
+	// HIP R→I mac, then ESP I→R enc/auth, ESP R→I enc/auth.
+	hipEncIR := k.Draw(16)
+	macIR := k.Draw(32)
+	hipEncRI := k.Draw(16)
+	macRI := k.Draw(32)
+	encIR := k.Draw(encLen)
+	authIR := k.Draw(authLen)
+	encRI := k.Draw(encLen)
+	authRI := k.Draw(authLen)
+	out := AssociationKeys{Suite: s}
+	if initiator {
+		out.HIPEncOut, out.HIPEncIn = hipEncIR, hipEncRI
+		out.HIPMacOut, out.HIPMacIn = macIR, macRI
+		out.ESPEncOut, out.ESPAuthOut = encIR, authIR
+		out.ESPEncIn, out.ESPAuthIn = encRI, authRI
+	} else {
+		out.HIPEncOut, out.HIPEncIn = hipEncRI, hipEncIR
+		out.HIPMacOut, out.HIPMacIn = macRI, macIR
+		out.ESPEncOut, out.ESPAuthOut = encRI, authRI
+		out.ESPEncIn, out.ESPAuthIn = encIR, authIR
+	}
+	return out, nil
+}
+
+// DeriveESPRekey draws a fresh set of ESP keys (leaving the HIP integrity
+// keys untouched) for an RFC 5202 rekey. Both peers must call it at the
+// same KEYMAT index; the initiator flag refers to the original base
+// exchange roles so the directional assignment matches.
+func DeriveESPRekey(k *Keymat, s Suite, initiator bool) (AssociationKeys, error) {
+	encLen, err := s.EncKeyLen()
+	if err != nil {
+		return AssociationKeys{}, err
+	}
+	authLen, err := s.AuthKeyLen()
+	if err != nil {
+		return AssociationKeys{}, err
+	}
+	encIR := k.Draw(encLen)
+	authIR := k.Draw(authLen)
+	encRI := k.Draw(encLen)
+	authRI := k.Draw(authLen)
+	out := AssociationKeys{Suite: s}
+	if initiator {
+		out.ESPEncOut, out.ESPAuthOut = encIR, authIR
+		out.ESPEncIn, out.ESPAuthIn = encRI, authRI
+	} else {
+		out.ESPEncOut, out.ESPAuthOut = encRI, authRI
+		out.ESPEncIn, out.ESPAuthIn = encIR, authIR
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package keymat
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	hitI = netip.MustParseAddr("2001:10::1")
+	hitR = netip.MustParseAddr("2001:10::2")
+)
+
+func TestDeterministic(t *testing.T) {
+	secret := []byte("shared-dh-secret")
+	a := New(secret, hitI, hitR, 1, 2)
+	b := New(secret, hitI, hitR, 1, 2)
+	if !bytes.Equal(a.Draw(100), b.Draw(100)) {
+		t.Fatal("same inputs produced different keymat")
+	}
+}
+
+func TestHITOrderIndependent(t *testing.T) {
+	secret := []byte("shared-dh-secret")
+	a := New(secret, hitI, hitR, 1, 2)
+	b := New(secret, hitR, hitI, 1, 2) // swapped: both peers must agree
+	if !bytes.Equal(a.Draw(64), b.Draw(64)) {
+		t.Fatal("keymat depends on HIT argument order")
+	}
+}
+
+func TestDifferentInputsDiverge(t *testing.T) {
+	base := New([]byte("secret"), hitI, hitR, 1, 2).Draw(32)
+	cases := map[string]*Keymat{
+		"secret":  New([]byte("Secret"), hitI, hitR, 1, 2),
+		"puzzleI": New([]byte("secret"), hitI, hitR, 9, 2),
+		"puzzleJ": New([]byte("secret"), hitI, hitR, 1, 9),
+		"hits":    New([]byte("secret"), hitI, netip.MustParseAddr("2001:10::3"), 1, 2),
+	}
+	for name, k := range cases {
+		if bytes.Equal(base, k.Draw(32)) {
+			t.Errorf("%s: keymat did not change", name)
+		}
+	}
+}
+
+func TestDrawAcrossBlockBoundaries(t *testing.T) {
+	k := New([]byte("s"), hitI, hitR, 0, 0)
+	var joined []byte
+	for i := 0; i < 20; i++ {
+		joined = append(joined, k.Draw(7)...) // 140 bytes, crosses 32B blocks
+	}
+	k2 := New([]byte("s"), hitI, hitR, 0, 0)
+	if !bytes.Equal(joined, k2.Draw(140)) {
+		t.Fatal("chunked draws differ from one big draw")
+	}
+	if k.Drawn() != 140 {
+		t.Fatalf("drawn = %d", k.Drawn())
+	}
+}
+
+func TestDeriveAssociationMirrors(t *testing.T) {
+	secret := []byte("dh")
+	ki := New(secret, hitI, hitR, 5, 6)
+	kr := New(secret, hitI, hitR, 5, 6)
+	ak, err := DeriveAssociation(ki, SuiteAESCTRSHA256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := DeriveAssociation(kr, SuiteAESCTRSHA256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ak.HIPMacOut, bk.HIPMacIn) || !bytes.Equal(ak.HIPMacIn, bk.HIPMacOut) {
+		t.Fatal("HIP mac keys do not mirror")
+	}
+	if !bytes.Equal(ak.ESPEncOut, bk.ESPEncIn) || !bytes.Equal(ak.ESPAuthOut, bk.ESPAuthIn) {
+		t.Fatal("ESP out/in keys do not mirror")
+	}
+	if !bytes.Equal(ak.ESPEncIn, bk.ESPEncOut) || !bytes.Equal(ak.ESPAuthIn, bk.ESPAuthOut) {
+		t.Fatal("ESP in/out keys do not mirror")
+	}
+	if bytes.Equal(ak.ESPEncOut, ak.ESPEncIn) {
+		t.Fatal("directional keys identical")
+	}
+}
+
+func TestDeriveAssociationNullSuite(t *testing.T) {
+	k := New([]byte("dh"), hitI, hitR, 0, 0)
+	ak, err := DeriveAssociation(k, SuiteNullSHA256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ak.ESPEncOut) != 0 || len(ak.ESPAuthOut) != 32 {
+		t.Fatalf("null suite key lengths: enc=%d auth=%d", len(ak.ESPEncOut), len(ak.ESPAuthOut))
+	}
+}
+
+func TestDeriveAssociationUnknownSuite(t *testing.T) {
+	k := New([]byte("dh"), hitI, hitR, 0, 0)
+	if _, err := DeriveAssociation(k, Suite(999), true); err != ErrUnknownSuite {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	got, err := Negotiate([]Suite{SuiteNullSHA256, SuiteAESCBCSHA256}, Preferred)
+	if err != nil || got != SuiteAESCBCSHA256 {
+		t.Fatalf("negotiated %v, %v", got, err)
+	}
+	if _, err := Negotiate([]Suite{Suite(77)}, Preferred); err != ErrUnknownSuite {
+		t.Fatalf("err = %v, want ErrUnknownSuite", err)
+	}
+	// Responder preference order wins.
+	got, _ = Negotiate([]Suite{SuiteAESCBCSHA256, SuiteAESCTRSHA256}, []Suite{SuiteAESCTRSHA256, SuiteAESCBCSHA256})
+	if got != SuiteAESCTRSHA256 {
+		t.Fatalf("responder preference not honored: %v", got)
+	}
+}
+
+func TestSuiteKeyLens(t *testing.T) {
+	for _, s := range Preferred {
+		e, err := s.EncKeyLen()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		a, err := s.AuthKeyLen()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if a == 0 {
+			t.Fatalf("%v: zero auth key", s)
+		}
+		if s != SuiteNullSHA256 && e == 0 {
+			t.Fatalf("%v: zero enc key", s)
+		}
+	}
+	if _, err := Suite(12345).EncKeyLen(); err == nil {
+		t.Fatal("unknown suite enc len accepted")
+	}
+}
+
+// Property: keymat is a pure function of (secret, hits, i, j) and draws of
+// equal total length are identical regardless of chunking.
+func TestKeymatChunkingProperty(t *testing.T) {
+	f := func(secret []byte, i, j uint64, chunks []uint8) bool {
+		if len(chunks) == 0 {
+			return true
+		}
+		total := 0
+		k1 := New(secret, hitI, hitR, i, j)
+		var got []byte
+		for _, c := range chunks {
+			n := int(c%64) + 1
+			total += n
+			got = append(got, k1.Draw(n)...)
+		}
+		k2 := New(secret, hitI, hitR, i, j)
+		return bytes.Equal(got, k2.Draw(total))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDeriveAssociation(b *testing.B) {
+	secret := []byte("dh-shared-secret-bytes-0123456789ab")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := New(secret, hitI, hitR, 1, 2)
+		if _, err := DeriveAssociation(k, SuiteAESCTRSHA256, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package metrics provides the measurement plumbing of the benchmark
+// harness: latency histograms with mean/stddev/percentiles (what jmeter
+// and httperf report), throughput counters, and fixed-width table
+// rendering for regenerating the paper's figures as text.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram collects duration samples.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// StdDev returns the population standard deviation.
+func (h *Histogram) StdDev() time.Duration {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(h.Mean())
+	var acc float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		acc += d * d
+	}
+	return time.Duration(math.Sqrt(acc / float64(n)))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration { return h.Percentile(0.0001) }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
+
+// Summary is a compact, printable digest.
+type Summary struct {
+	Count         int
+	Mean, StdDev  time.Duration
+	P50, P95, P99 time.Duration
+	Min, Max      time.Duration
+}
+
+// Summarize digests the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(), Mean: h.Mean(), StdDev: h.StdDev(),
+		P50: h.Percentile(50), P95: h.Percentile(95), P99: h.Percentile(99),
+		Min: h.Min(), Max: h.Max(),
+	}
+}
+
+// Table renders aligned rows for harness output.
+type Table struct {
+	Title   string
+	Header  []string
+	rows    [][]string
+	Caption string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Row appends one row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.1fms", float64(v)/1e6)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	return b.String()
+}
+
+// Mbps converts bytes over a duration to megabits per second.
+func Mbps(bytes uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e6
+}
+
+// Rate converts a count over a duration to events per second.
+func Rate(count int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(count) / d.Seconds()
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.StdDev() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	for _, ms := range []int{10, 20, 30, 40, 50} {
+		h.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 30*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Population stddev of {10..50 step 10} ms = sqrt(200) ms ≈ 14.14ms.
+	want := time.Duration(math.Sqrt(200) * float64(time.Millisecond))
+	if d := h.StdDev() - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("stddev = %v, want ≈%v", h.StdDev(), want)
+	}
+	if h.Percentile(50) != 30*time.Millisecond {
+		t.Fatalf("p50 = %v", h.Percentile(50))
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 50*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	s := h.Summarize()
+	if s.Count != 5 || s.P99 != 50*time.Millisecond {
+		t.Fatalf("summary: %+v", s)
+	}
+}
+
+func TestHistogramAddAfterPercentile(t *testing.T) {
+	var h Histogram
+	h.Add(5 * time.Millisecond)
+	_ = h.Percentile(50) // sorts
+	h.Add(1 * time.Millisecond)
+	if h.Percentile(1) != time.Millisecond {
+		t.Fatal("sample added after sorting was lost or misplaced")
+	}
+}
+
+// Property: percentiles are monotone and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Add(time.Duration(s) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for p := 1.0; p <= 100; p += 7 {
+			v := h.Percentile(p)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value", "latency")
+	tbl.Row("alpha", 3.14159, 1500*time.Microsecond)
+	tbl.Row("beta-longer-name", 42, "raw")
+	tbl.Caption = "a caption"
+	out := tbl.String()
+	for _, want := range []string{"== demo ==", "alpha", "3.1", "1.5ms", "beta-longer-name", "a caption"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, separator, 2 rows, caption.
+	if len(lines) != 6 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the separator's width.
+	if len(lines[1]) > len(lines[2])+2 {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestMbpsAndRate(t *testing.T) {
+	if got := Mbps(12_500_000, time.Second); got != 100 {
+		t.Fatalf("Mbps = %v", got)
+	}
+	if got := Rate(300, 10*time.Second); got != 30 {
+		t.Fatalf("Rate = %v", got)
+	}
+	if Mbps(1, 0) != 0 || Rate(1, 0) != 0 {
+		t.Fatal("zero-duration should not divide by zero")
+	}
+}

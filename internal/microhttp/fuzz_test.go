@@ -1,0 +1,43 @@
+package microhttp
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRequest must never panic; accepted requests must re-serialize.
+func FuzzReadRequest(f *testing.F) {
+	var buf bytes.Buffer
+	WriteRequest(&buf, &Request{Method: "GET", Path: "/item/1", Headers: map[string]string{"Host": "h"}, Body: []byte("b")})
+	f.Add(buf.Bytes())
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteRequest(&out, req); err != nil {
+			t.Fatalf("accepted request failed to serialize: %v", err)
+		}
+	})
+}
+
+// FuzzReadResponse mirrors FuzzReadRequest for responses.
+func FuzzReadResponse(f *testing.F) {
+	var buf bytes.Buffer
+	WriteResponse(&buf, &Response{Status: 200, Body: []byte("ok")})
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponse(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteResponse(&out, resp); err != nil {
+			t.Fatalf("accepted response failed to serialize: %v", err)
+		}
+	})
+}

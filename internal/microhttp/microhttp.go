@@ -1,0 +1,252 @@
+// Package microhttp is a minimal HTTP/1.1 codec that runs over any
+// io.ReadWriter — real TCP sockets, simulated streams
+// (hipcloud/internal/simtcp) and TLS channels
+// (hipcloud/internal/tlslite) alike. It supports Content-Length framing,
+// persistent connections and Connection: close, which is all the RUBiS
+// service, the reverse proxy and the workload generators need.
+package microhttp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Limits protecting parsers from hostile input.
+const (
+	MaxHeaderBytes = 64 * 1024
+	MaxBodyBytes   = 16 << 20
+)
+
+// Errors returned by the codec.
+var (
+	ErrMalformed = errors.New("microhttp: malformed message")
+	ErrTooLarge  = errors.New("microhttp: message too large")
+)
+
+// Request is an HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Headers map[string]string
+	Body    []byte
+}
+
+// Response is an HTTP response.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// Header returns a header value (case-insensitive key).
+func header(h map[string]string, key string) string {
+	for k, v := range h {
+		if strings.EqualFold(k, key) {
+			return v
+		}
+	}
+	return ""
+}
+
+// Header returns a request header (case-insensitive).
+func (r *Request) Header(key string) string { return header(r.Headers, key) }
+
+// Header returns a response header (case-insensitive).
+func (r *Response) Header(key string) string { return header(r.Headers, key) }
+
+// WantsClose reports whether the message asked for Connection: close.
+func (r *Request) WantsClose() bool {
+	return strings.EqualFold(r.Header("Connection"), "close")
+}
+
+// WantsClose reports whether the response asked for Connection: close.
+func (r *Response) WantsClose() bool {
+	return strings.EqualFold(r.Header("Connection"), "close")
+}
+
+// statusText covers the codes the stack emits.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	}
+	return "Status"
+}
+
+// WriteRequest serializes a request.
+func WriteRequest(w io.Writer, req *Request) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", req.Method, req.Path)
+	writeHeaders(&b, req.Headers, len(req.Body))
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(req.Body) > 0 {
+		if _, err := w.Write(req.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteResponse serializes a response.
+func WriteResponse(w io.Writer, resp *Response) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", resp.Status, statusText(resp.Status))
+	writeHeaders(&b, resp.Headers, len(resp.Body))
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(resp.Body) > 0 {
+		if _, err := w.Write(resp.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeaders(b *strings.Builder, h map[string]string, bodyLen int) {
+	keys := make([]string, 0, len(h))
+	explicitLen := false
+	for k := range h {
+		if strings.EqualFold(k, "Content-Length") {
+			explicitLen = true
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, h[k])
+	}
+	if !explicitLen {
+		fmt.Fprintf(b, "Content-Length: %d\r\n", bodyLen)
+	}
+	b.WriteString("\r\n")
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, ErrMalformed
+	}
+	req := &Request{Method: parts[0], Path: parts[1]}
+	req.Headers, err = readHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+	req.Body, err = readBody(br, req.Headers)
+	return req, err
+}
+
+// ReadResponse parses one response from br.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, ErrMalformed
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil || status < 100 || status > 599 {
+		return nil, ErrMalformed
+	}
+	resp := &Response{Status: status}
+	resp.Headers, err = readHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body, err = readBody(br, resp.Headers)
+	return resp, err
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		sb.Write(chunk)
+		if sb.Len() > MaxHeaderBytes {
+			return "", ErrTooLarge
+		}
+		if !isPrefix {
+			return sb.String(), nil
+		}
+	}
+}
+
+func readHeaders(br *bufio.Reader) (map[string]string, error) {
+	h := make(map[string]string)
+	total := 0
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		total += len(line)
+		if total > MaxHeaderBytes {
+			return nil, ErrTooLarge
+		}
+		idx := strings.IndexByte(line, ':')
+		if idx <= 0 {
+			return nil, ErrMalformed
+		}
+		h[strings.TrimSpace(line[:idx])] = strings.TrimSpace(line[idx+1:])
+	}
+}
+
+func readBody(br *bufio.Reader, h map[string]string) ([]byte, error) {
+	cl := header(h, "Content-Length")
+	if cl == "" {
+		return nil, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, ErrMalformed
+	}
+	if n > MaxBodyBytes {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// RoundTrip writes req and reads the response over rw (one in-flight
+// request; persistent connections supported by repeated calls).
+func RoundTrip(rw io.ReadWriter, br *bufio.Reader, req *Request) (*Response, error) {
+	if err := WriteRequest(rw, req); err != nil {
+		return nil, err
+	}
+	return ReadResponse(br)
+}

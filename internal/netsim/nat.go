@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+)
+
+// NATType selects the translation/filtering behaviour of a NAT middlebox.
+type NATType int
+
+// NAT behaviours per the classic STUN taxonomy.
+const (
+	// NATFullCone: one external mapping per internal endpoint; any
+	// external host may send to the mapped port.
+	NATFullCone NATType = iota
+	// NATRestrictedCone: as full cone, but inbound packets are accepted
+	// only from addresses the internal host has sent to.
+	NATRestrictedCone
+	// NATPortRestricted: inbound must match an (address,port) previously
+	// contacted.
+	NATPortRestricted
+	// NATSymmetric: a distinct external mapping per destination;
+	// inbound only from that exact destination.
+	NATSymmetric
+)
+
+func (t NATType) String() string {
+	switch t {
+	case NATFullCone:
+		return "full-cone"
+	case NATRestrictedCone:
+		return "restricted-cone"
+	case NATPortRestricted:
+		return "port-restricted"
+	case NATSymmetric:
+		return "symmetric"
+	}
+	return "nat(?)"
+}
+
+type natKey struct {
+	proto Proto
+	in    netip.AddrPort
+	// dst is only set for symmetric NATs.
+	dst netip.AddrPort
+}
+
+type natMapping struct {
+	key      natKey
+	external netip.AddrPort
+	lastUsed VTime
+	// peers records destinations contacted through this mapping, for
+	// restricted-cone filtering.
+	peers map[netip.AddrPort]bool
+}
+
+// NAT is network address/port translation state attached to a middlebox
+// node. The node must have exactly one inside interface; the external
+// address is the first non-inside interface address.
+type NAT struct {
+	node     *Node
+	typ      NATType
+	external netip.Addr
+	byKey    map[natKey]*natMapping
+	byExt    map[uint16]*natMapping
+	nextPort uint16
+	timeout  time.Duration
+	drops    uint64
+}
+
+// EnableNAT turns nd into a NAT middlebox of the given type. insideAddr
+// must be one of nd's interface addresses; packets arriving on that
+// interface are translated outbound, packets arriving on any other
+// interface are matched against mappings.
+func (nd *Node) EnableNAT(typ NATType, insideAddr netip.Addr) *NAT {
+	nat := &NAT{
+		node:     nd,
+		typ:      typ,
+		byKey:    make(map[natKey]*natMapping),
+		byExt:    make(map[uint16]*natMapping),
+		nextPort: 20000,
+		timeout:  2 * time.Minute,
+	}
+	var marked bool
+	for _, i := range nd.ifaces {
+		if i.addr == insideAddr {
+			i.inside = true
+			marked = true
+		} else if !nat.external.IsValid() {
+			nat.external = i.addr
+		}
+	}
+	if !marked {
+		panic("netsim: EnableNAT: insideAddr is not an interface of " + nd.name)
+	}
+	if !nat.external.IsValid() {
+		panic("netsim: EnableNAT: node has no outside interface")
+	}
+	nd.nat = nat
+	nd.forward = true
+	return nat
+}
+
+// ExternalAddr returns the NAT's public address.
+func (n *NAT) ExternalAddr() netip.Addr { return n.external }
+
+// Type returns the NAT behaviour.
+func (n *NAT) Type() NATType { return n.typ }
+
+// Drops reports inbound packets rejected by filtering.
+func (n *NAT) Drops() uint64 { return n.drops }
+
+// Mappings reports the number of active mappings.
+func (n *NAT) Mappings() int { return len(n.byKey) }
+
+// SetTimeout configures mapping expiry (default 2 minutes).
+func (n *NAT) SetTimeout(d time.Duration) { n.timeout = d }
+
+// process translates pkt arriving on iface in. It returns the (possibly
+// rewritten) packet to continue routing, or nil if the packet is dropped.
+func (n *NAT) process(in *Iface, pkt *Packet) *Packet {
+	now := n.node.net.sim.now
+	if in.inside {
+		// Outbound: allocate or refresh a mapping and rewrite source.
+		key := natKey{proto: pkt.Proto, in: pkt.Src}
+		if n.typ == NATSymmetric {
+			key.dst = pkt.Dst
+		}
+		m := n.byKey[key]
+		if m != nil && now-m.lastUsed > n.timeout {
+			n.expire(m)
+			m = nil
+		}
+		if m == nil {
+			m = &natMapping{
+				key:      key,
+				external: netip.AddrPortFrom(n.external, n.allocPort()),
+				peers:    make(map[netip.AddrPort]bool),
+			}
+			n.byKey[key] = m
+			n.byExt[m.external.Port()] = m
+		}
+		m.lastUsed = now
+		m.peers[pkt.Dst] = true
+		out := *pkt
+		out.Src = m.external
+		return &out
+	}
+	// Inbound: must match a mapping on the external address.
+	if pkt.Dst.Addr() != n.external {
+		return pkt // transit traffic not addressed to the NAT
+	}
+	m := n.byExt[pkt.Dst.Port()]
+	if m == nil || now-m.lastUsed > n.timeout {
+		if m != nil {
+			n.expire(m)
+		}
+		n.drops++
+		n.node.net.trace(TraceDrop, n.node, pkt, "nat: no mapping")
+		return nil
+	}
+	if !n.inboundAllowed(m, pkt.Src) {
+		n.drops++
+		n.node.net.trace(TraceDrop, n.node, pkt, "nat: filtered")
+		return nil
+	}
+	m.lastUsed = now
+	out := *pkt
+	out.Dst = m.key.in
+	return &out
+}
+
+func (n *NAT) inboundAllowed(m *natMapping, src netip.AddrPort) bool {
+	switch n.typ {
+	case NATFullCone:
+		return true
+	case NATRestrictedCone:
+		for peer := range m.peers {
+			if peer.Addr() == src.Addr() {
+				return true
+			}
+		}
+		return false
+	case NATPortRestricted:
+		return m.peers[src]
+	case NATSymmetric:
+		return m.key.dst == src
+	}
+	return false
+}
+
+func (n *NAT) allocPort() uint16 {
+	for {
+		n.nextPort++
+		if n.nextPort < 20000 {
+			n.nextPort = 20000
+		}
+		if _, used := n.byExt[n.nextPort]; !used {
+			return n.nextPort
+		}
+	}
+}
+
+func (n *NAT) expire(m *natMapping) {
+	delete(n.byKey, m.key)
+	delete(n.byExt, m.external.Port())
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import "time"
+
+// Resource is a counted resource (e.g. CPU cores) with a FIFO grant queue.
+type Resource struct {
+	s     *Sim
+	cap   int
+	inUse int
+	q     *WaitQueue
+}
+
+// NewResource creates a resource with capacity units.
+func NewResource(s *Sim, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{s: s, cap: capacity, q: NewWaitQueue(s)}
+}
+
+// Acquire blocks p until one unit is available and claims it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.cap {
+		r.q.Wait(p, 0)
+	}
+	r.inUse++
+}
+
+// TryAcquire claims a unit if one is free without blocking.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse >= r.cap {
+		return false
+	}
+	r.inUse++
+	return true
+}
+
+// Release returns one unit and wakes the next waiter.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("netsim: Release of idle resource")
+	}
+	r.inUse--
+	r.q.WakeOne()
+}
+
+// InUse reports the number of units currently claimed.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity reports the total number of units.
+func (r *Resource) Capacity() int { return r.cap }
+
+// SchedQuantum is the CPU scheduling time slice: long compute requests
+// are broken into quanta and requeued, approximating the round-robin
+// processor sharing of a real kernel scheduler (without it, one large
+// request would monopolize a core FIFO-style and distort mean latencies).
+const SchedQuantum = 500 * time.Microsecond
+
+// CPU models the processor of a simulated host: a core pool with a speed
+// factor relative to one reference compute unit (≈ one 2012-era EC2 compute
+// unit). Work expressed in reference-seconds takes work/speed wall time on
+// one core, sliced into SchedQuantum pieces.
+type CPU struct {
+	cores *Resource
+	speed float64
+	// busy accumulates core-seconds consumed, for utilization reports.
+	busy time.Duration
+	s    *Sim
+}
+
+// NewCPU creates a CPU with the given core count and per-core speed factor.
+func NewCPU(s *Sim, cores int, speed float64) *CPU {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &CPU{cores: NewResource(s, cores), speed: speed, s: s}
+}
+
+// Use charges work (expressed as time on a reference core) to the CPU:
+// the process queues for a core, holds it for up to one scheduling
+// quantum, requeues, and repeats until the work is done. Zero or negative
+// work is a no-op.
+func (c *CPU) Use(p *Proc, work time.Duration) {
+	if work <= 0 {
+		return
+	}
+	remaining := time.Duration(float64(work) / c.speed)
+	for remaining > 0 {
+		slice := remaining
+		if slice > SchedQuantum {
+			slice = SchedQuantum
+		}
+		c.cores.Acquire(p)
+		c.busy += slice
+		p.Sleep(slice)
+		c.cores.Release()
+		remaining -= slice
+	}
+}
+
+// BusyTime reports accumulated core-time consumed.
+func (c *CPU) BusyTime() time.Duration { return c.busy }
+
+// Queue reports how many processes are waiting for or holding cores.
+func (c *CPU) Queue() int { return c.cores.InUse() }
+
+// Speed reports the per-core speed factor.
+func (c *CPU) Speed() float64 { return c.speed }

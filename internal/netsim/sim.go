@@ -1,0 +1,285 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// It provides the substrate the paper's testbed (Amazon EC2 / OpenNebula)
+// is substituted with: virtual time, processes (goroutine-per-process,
+// strictly sequential execution), finite CPU resources, links with latency
+// and bandwidth, NAT middleboxes, UDP-style sockets and ICMP echo.
+//
+// The simulator is simpy-style: each process runs in its own goroutine but
+// exactly one goroutine (the scheduler or a single process) executes at any
+// moment. All inter-process wakeups go through the event queue, with a
+// monotonic sequence number breaking ties, so runs are fully deterministic
+// for a fixed RNG seed.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// VTime is a virtual timestamp: the duration since the simulation epoch.
+type VTime = time.Duration
+
+// event is a scheduled callback. Events with equal time fire in the order
+// they were scheduled (seq).
+type event struct {
+	at  VTime
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulation. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now    VTime
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	sched  chan struct{} // control returned to scheduler
+	parked map[*Proc]struct{}
+	closed bool
+	nproc  int
+	tracer Tracer
+}
+
+// New creates a simulation whose random choices (loss, jitter) derive from
+// seed. The same seed reproduces the same run exactly.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:    rand.New(rand.NewSource(seed)),
+		sched:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() VTime { return s.now }
+
+// Rand returns the simulation's deterministic RNG. It must only be used
+// from within simulation events/processes.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at virtual time t (clamped to now). It may be
+// called from scheduler context (events, process code).
+func (s *Sim) At(t VTime, fn func()) *event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d VTime, fn func()) *event { return s.At(s.now+d, fn) }
+
+// Run executes events until the queue is empty, the horizon is exceeded, or
+// no runnable process remains. It returns the virtual time reached.
+func (s *Sim) Run(horizon VTime) VTime {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if horizon > 0 && ev.at > horizon {
+			s.now = horizon
+			// Push back so a later Run can continue.
+			heap.Push(&s.queue, ev)
+			break
+		}
+		s.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	return s.now
+}
+
+// Shutdown aborts every parked process so their goroutines unwind. It must
+// be called from outside scheduler context after Run returns. Processes are
+// resumed one at a time with the aborted flag set; their API calls panic
+// with a sentinel recovered by the process wrapper.
+func (s *Sim) Shutdown() {
+	s.closed = true
+	for p := range s.parked {
+		delete(s.parked, p)
+		p.aborted = true
+		p.resume <- struct{}{}
+		<-s.sched
+	}
+}
+
+// simAbort is panicked inside a process when the simulation shuts down.
+type simAbort struct{}
+
+// Proc is a simulated process. All blocking methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	sim     *Sim
+	name    string
+	resume  chan struct{}
+	aborted bool
+}
+
+// Spawn starts a new process running fn at the current virtual time.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.nproc++
+	s.After(0, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(simAbort); !ok {
+						panic(r)
+					}
+				}
+				s.sched <- struct{}{}
+			}()
+			<-p.resume
+			if p.aborted {
+				panic(simAbort{})
+			}
+			fn(p)
+		}()
+		s.transferTo(p)
+	})
+}
+
+// transferTo hands control to p's goroutine and blocks until it parks or
+// exits. Must run in scheduler context.
+func (s *Sim) transferTo(p *Proc) {
+	p.resume <- struct{}{}
+	<-s.sched
+}
+
+// park blocks the calling process until it is woken via an event. The
+// caller must have arranged for a wake before parking.
+func (p *Proc) park() {
+	p.sim.parked[p] = struct{}{}
+	p.sim.sched <- struct{}{}
+	<-p.resume
+	if p.aborted {
+		panic(simAbort{})
+	}
+}
+
+// wake resumes a parked process. Must run in scheduler context (inside an
+// event callback).
+func (s *Sim) wake(p *Proc) {
+	if _, ok := s.parked[p]; !ok {
+		panic(fmt.Sprintf("netsim: waking non-parked process %s", p.name))
+	}
+	delete(s.parked, p)
+	s.transferTo(p)
+}
+
+// Name returns the process name (for traces).
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation the process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() VTime { return p.sim.now }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d VTime) {
+	if d <= 0 {
+		d = 0
+	}
+	p.sim.After(d, func() { p.sim.wake(p) })
+	p.park()
+}
+
+// Spawn starts a sibling process (convenience for fan-out inside a process).
+func (p *Proc) Spawn(name string, fn func(p *Proc)) { p.sim.Spawn(name, fn) }
+
+// waiter represents one process blocked on a condition, possibly with a
+// timeout racing the wake.
+type waiter struct {
+	p     *Proc
+	fired bool
+	// timedOut reports which of the racing events won.
+	timedOut bool
+}
+
+// WaitQueue is a FIFO queue of processes blocked on a condition.
+type WaitQueue struct {
+	s  *Sim
+	ws []*waiter
+}
+
+// NewWaitQueue creates a wait queue bound to s.
+func NewWaitQueue(s *Sim) *WaitQueue { return &WaitQueue{s: s} }
+
+// Len reports the number of blocked processes.
+func (q *WaitQueue) Len() int { return len(q.ws) }
+
+// Wait blocks p until WakeOne/WakeAll reaches it or the timeout elapses.
+// timeout <= 0 means no timeout. It reports whether the wait timed out.
+func (q *WaitQueue) Wait(p *Proc, timeout VTime) (timedOut bool) {
+	w := &waiter{p: p}
+	q.ws = append(q.ws, w)
+	if timeout > 0 {
+		q.s.After(timeout, func() {
+			if w.fired {
+				return
+			}
+			w.fired = true
+			w.timedOut = true
+			// Remove from queue.
+			for i, x := range q.ws {
+				if x == w {
+					q.ws = append(q.ws[:i], q.ws[i+1:]...)
+					break
+				}
+			}
+			q.s.wake(p)
+		})
+	}
+	p.park()
+	return w.timedOut
+}
+
+// WakeOne schedules the wakeup of the longest-waiting process, if any.
+// The wake happens via the event queue (at the current time) so the caller
+// keeps running first; it reports whether a process was woken.
+func (q *WaitQueue) WakeOne() bool {
+	for len(q.ws) > 0 {
+		w := q.ws[0]
+		q.ws = q.ws[1:]
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		q.s.After(0, func() { q.s.wake(w.p) })
+		return true
+	}
+	return false
+}
+
+// WakeAll wakes every waiting process.
+func (q *WaitQueue) WakeAll() {
+	for q.WakeOne() {
+	}
+}

@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(2*time.Millisecond, func() { got = append(got, 2) })
+	s.At(1*time.Millisecond, func() { got = append(got, 1) })
+	s.At(2*time.Millisecond, func() { got = append(got, 3) }) // same time: FIFO
+	s.At(0, func() { got = append(got, 0) })
+	s.Run(0)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(10*time.Millisecond, func() { fired = true })
+	end := s.Run(5 * time.Millisecond)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if end != 5*time.Millisecond {
+		t.Fatalf("end = %v, want 5ms", end)
+	}
+	s.Run(0)
+	if !fired {
+		t.Fatal("event not fired on continued run")
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	s := New(1)
+	var wake VTime
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(7 * time.Millisecond)
+		wake = p.Now()
+	})
+	s.Run(0)
+	if wake != 7*time.Millisecond {
+		t.Fatalf("woke at %v, want 7ms", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	s := New(1)
+	var log []string
+	s.Spawn("a", func(p *Proc) {
+		log = append(log, "a0")
+		p.Sleep(2 * time.Millisecond)
+		log = append(log, "a2")
+		p.Sleep(2 * time.Millisecond)
+		log = append(log, "a4")
+	})
+	s.Spawn("b", func(p *Proc) {
+		p.Sleep(1 * time.Millisecond)
+		log = append(log, "b1")
+		p.Sleep(2 * time.Millisecond)
+		log = append(log, "b3")
+	})
+	s.Run(0)
+	want := []string{"a0", "b1", "a2", "b3", "a4"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestWaitQueueWakeOrder(t *testing.T) {
+	s := New(1)
+	q := NewWaitQueue(s)
+	var order []string
+	for _, name := range []string{"p1", "p2", "p3"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			q.Wait(p, 0)
+			order = append(order, name)
+		})
+	}
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.WakeAll()
+	})
+	s.Run(0)
+	if len(order) != 3 || order[0] != "p1" || order[1] != "p2" || order[2] != "p3" {
+		t.Fatalf("wake order = %v, want FIFO", order)
+	}
+}
+
+func TestWaitQueueTimeout(t *testing.T) {
+	s := New(1)
+	q := NewWaitQueue(s)
+	var timedOut bool
+	var at VTime
+	s.Spawn("waiter", func(p *Proc) {
+		timedOut = q.Wait(p, 5*time.Millisecond)
+		at = p.Now()
+	})
+	s.Run(0)
+	if !timedOut {
+		t.Fatal("expected timeout")
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("timed out at %v, want 5ms", at)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not cleaned, len=%d", q.Len())
+	}
+}
+
+func TestWaitQueueWakeBeatsTimeout(t *testing.T) {
+	s := New(1)
+	q := NewWaitQueue(s)
+	var timedOut bool
+	s.Spawn("waiter", func(p *Proc) {
+		timedOut = q.Wait(p, 10*time.Millisecond)
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		q.WakeOne()
+	})
+	s.Run(0)
+	if timedOut {
+		t.Fatal("woken wait reported timeout")
+	}
+}
+
+func TestResourceContention(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, 2)
+	var done []VTime
+	for i := 0; i < 4; i++ {
+		s.Spawn("worker", func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(10 * time.Millisecond)
+			r.Release()
+			done = append(done, p.Now())
+		})
+	}
+	s.Run(0)
+	// 2 cores, 4 jobs of 10ms: two finish at 10ms, two at 20ms.
+	if len(done) != 4 {
+		t.Fatalf("done = %v", done)
+	}
+	if done[0] != 10*time.Millisecond || done[1] != 10*time.Millisecond ||
+		done[2] != 20*time.Millisecond || done[3] != 20*time.Millisecond {
+		t.Fatalf("completion times = %v", done)
+	}
+}
+
+func TestCPUSpeedScaling(t *testing.T) {
+	s := New(1)
+	c := NewCPU(s, 1, 2.0) // double-speed core
+	var end VTime
+	s.Spawn("job", func(p *Proc) {
+		c.Use(p, 10*time.Millisecond)
+		end = p.Now()
+	})
+	s.Run(0)
+	if end != 5*time.Millisecond {
+		t.Fatalf("end = %v, want 5ms on 2x core", end)
+	}
+	if c.BusyTime() != 5*time.Millisecond {
+		t.Fatalf("busy = %v", c.BusyTime())
+	}
+}
+
+func TestShutdownUnwindsParked(t *testing.T) {
+	s := New(1)
+	q := NewWaitQueue(s)
+	started := 0
+	s.Spawn("stuck", func(p *Proc) {
+		started++
+		q.Wait(p, 0) // never woken
+		t.Error("stuck process resumed normally")
+	})
+	s.Run(0)
+	if started != 1 {
+		t.Fatal("process never started")
+	}
+	s.Shutdown()
+	if len(s.parked) != 0 {
+		t.Fatalf("still parked: %d", len(s.parked))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []VTime {
+		s := New(42)
+		var ts []VTime
+		for i := 0; i < 5; i++ {
+			s.Spawn("p", func(p *Proc) {
+				d := time.Duration(s.Rand().Int63n(int64(10 * time.Millisecond)))
+				p.Sleep(d)
+				ts = append(ts, p.Now())
+			})
+		}
+		s.Run(0)
+		return ts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	// Raw scheduler capacity: chained events.
+	s := New(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, fn)
+		}
+	}
+	s.After(0, fn)
+	b.ResetTimer()
+	s.Run(0)
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	// Two processes ping-ponging through wait queues.
+	s := New(1)
+	q1, q2 := NewWaitQueue(s), NewWaitQueue(s)
+	rounds := b.N
+	s.Spawn("a", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			q2.WakeOne()
+			q1.Wait(p, 0)
+		}
+		q2.WakeOne()
+	})
+	s.Spawn("b", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			q2.Wait(p, 0)
+			q1.WakeOne()
+		}
+	})
+	b.ResetTimer()
+	s.Run(0)
+	s.Shutdown()
+}

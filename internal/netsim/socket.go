@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+)
+
+// Errors returned by socket operations.
+var (
+	ErrTimeout     = errors.New("netsim: operation timed out")
+	ErrPortInUse   = errors.New("netsim: port already bound")
+	ErrSocketClose = errors.New("netsim: socket closed")
+)
+
+// Datagram is one received UDP payload with its source.
+type Datagram struct {
+	Src     netip.AddrPort
+	Payload []byte
+}
+
+// UDPSocket is a bound simulated UDP endpoint.
+type UDPSocket struct {
+	node   *Node
+	local  netip.AddrPort
+	buf    []Datagram
+	maxBuf int
+	wq     *WaitQueue
+	closed bool
+	// ExtraSize is added to every sent packet's wire size; used by
+	// encapsulating layers (e.g. Teredo) to model header overhead.
+	ExtraSize int
+	// Handler, when non-nil, receives datagrams in scheduler context
+	// instead of buffering them for RecvFrom. It must not block.
+	Handler func(dg Datagram)
+}
+
+// BindUDP binds a UDP socket on port (0 picks an ephemeral port). The local
+// address is the node's first interface address.
+func (nd *Node) BindUDP(port uint16) (*UDPSocket, error) {
+	if port == 0 {
+		for {
+			nd.nextPort++
+			if nd.nextPort < 32768 {
+				nd.nextPort = 32768
+			}
+			if _, used := nd.udp[nd.nextPort]; !used {
+				port = nd.nextPort
+				break
+			}
+		}
+	} else if _, used := nd.udp[port]; used {
+		return nil, ErrPortInUse
+	}
+	s := &UDPSocket{
+		node:   nd,
+		local:  netip.AddrPortFrom(nd.Addr(), port),
+		maxBuf: 512,
+		wq:     NewWaitQueue(nd.net.sim),
+	}
+	nd.udp[port] = s
+	return s, nil
+}
+
+// MustBindUDP is BindUDP that panics on error (for topology setup code).
+func (nd *Node) MustBindUDP(port uint16) *UDPSocket {
+	s, err := nd.BindUDP(port)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LocalAddr returns the bound address.
+func (s *UDPSocket) LocalAddr() netip.AddrPort { return s.local }
+
+// Node returns the owning node.
+func (s *UDPSocket) Node() *Node { return s.node }
+
+// Close unbinds the socket and wakes blocked receivers.
+func (s *UDPSocket) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.node.udp, s.local.Port())
+	s.wq.WakeAll()
+}
+
+// SendTo transmits payload to dst. It runs in scheduler context and does
+// not block; CPU cost is not charged here (callers running as processes
+// should charge per-packet CPU via the node's CPU explicitly, which the
+// higher-level conn types do).
+func (s *UDPSocket) SendTo(dst netip.AddrPort, payload []byte) {
+	if s.closed {
+		return
+	}
+	s.node.SendRaw(ProtoUDP, s.local, dst, payload, s.ExtraSize+8)
+}
+
+// enqueue delivers a packet into the socket buffer (scheduler context).
+func (s *UDPSocket) enqueue(pkt *Packet) {
+	if s.closed {
+		return
+	}
+	dg := Datagram{Src: pkt.Src, Payload: pkt.Payload}
+	if s.Handler != nil {
+		s.Handler(dg)
+		return
+	}
+	if len(s.buf) >= s.maxBuf {
+		s.node.net.trace(TraceDrop, s.node, pkt, "socket buffer full")
+		return
+	}
+	s.buf = append(s.buf, dg)
+	s.wq.WakeOne()
+}
+
+// RecvFrom blocks p until a datagram arrives or timeout elapses
+// (timeout <= 0 blocks forever).
+func (s *UDPSocket) RecvFrom(p *Proc, timeout time.Duration) (Datagram, error) {
+	deadline := VTime(0)
+	if timeout > 0 {
+		deadline = p.Now() + timeout
+	}
+	for len(s.buf) == 0 {
+		if s.closed {
+			return Datagram{}, ErrSocketClose
+		}
+		remain := VTime(0)
+		if deadline > 0 {
+			remain = deadline - p.Now()
+			if remain <= 0 {
+				return Datagram{}, ErrTimeout
+			}
+		}
+		if s.wq.Wait(p, remain) {
+			return Datagram{}, ErrTimeout
+		}
+	}
+	dg := s.buf[0]
+	s.buf = s.buf[1:]
+	return dg, nil
+}
+
+// Pending reports buffered datagram count.
+func (s *UDPSocket) Pending() int { return len(s.buf) }
+
+// --- ICMP echo ---
+
+type echoWait struct {
+	wq   *WaitQueue
+	done bool
+	rtt  time.Duration
+	sent VTime
+}
+
+// icmpEcho payload layout: [0]=type (8 request, 0 reply), then 8-byte id.
+const (
+	icmpEchoRequest = 8
+	icmpEchoReply   = 0
+)
+
+// Ping sends an ICMP echo of the given payload size to dst and waits for
+// the reply, returning the RTT. It blocks the calling process.
+func (nd *Node) Ping(p *Proc, dst netip.Addr, size int, timeout time.Duration) (time.Duration, error) {
+	nd.echoSeq++
+	id := nd.echoSeq
+	w := &echoWait{wq: NewWaitQueue(nd.net.sim), sent: p.Now()}
+	nd.echoes[id] = w
+	defer delete(nd.echoes, id)
+	if size < 9 {
+		size = 9
+	}
+	payload := make([]byte, size)
+	payload[0] = icmpEchoRequest
+	putUint64(payload[1:9], id)
+	src := netip.AddrPortFrom(nd.Addr(), 0)
+	nd.SendRaw(ProtoICMP, src, netip.AddrPortFrom(dst, 0), payload, 0)
+	if !w.done {
+		if w.wq.Wait(p, timeout) {
+			return 0, ErrTimeout
+		}
+	}
+	return w.rtt, nil
+}
+
+func (nd *Node) handleICMP(pkt *Packet) {
+	if len(pkt.Payload) < 9 {
+		return
+	}
+	switch pkt.Payload[0] {
+	case icmpEchoRequest:
+		reply := make([]byte, len(pkt.Payload))
+		copy(reply, pkt.Payload)
+		reply[0] = icmpEchoReply
+		nd.SendRaw(ProtoICMP, netip.AddrPortFrom(pkt.Dst.Addr(), 0), netip.AddrPortFrom(pkt.Src.Addr(), 0), reply, 0)
+	case icmpEchoReply:
+		id := getUint64(pkt.Payload[1:9])
+		if w := nd.echoes[id]; w != nil && !w.done {
+			w.done = true
+			w.rtt = nd.net.sim.now - w.sent
+			w.wq.WakeAll()
+		}
+	}
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,48 @@
+package netsim
+
+import "fmt"
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceTx TraceKind = iota
+	TraceRx
+	TraceDrop
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceTx:
+		return "tx"
+	case TraceRx:
+		return "rx"
+	case TraceDrop:
+		return "drop"
+	}
+	return "?"
+}
+
+// Tracer receives packet-level events; used in tests and debugging.
+type Tracer func(at VTime, kind TraceKind, node string, pkt *Packet, note string)
+
+// SetTracer installs a tracer on the simulation (nil disables tracing).
+func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
+
+func (n *Network) trace(kind TraceKind, nd *Node, pkt *Packet, note string) {
+	if n.sim.tracer != nil {
+		n.sim.tracer(n.sim.now, kind, nd.name, pkt, note)
+	}
+}
+
+// PrintTracer returns a Tracer writing human-readable lines via fn
+// (e.g. t.Logf or fmt.Printf-compatible).
+func PrintTracer(logf func(format string, args ...interface{})) Tracer {
+	return func(at VTime, kind TraceKind, node string, pkt *Packet, note string) {
+		logf("%12v %-4s %-12s %v %v->%v size=%d %s",
+			at, kind, node, pkt.Proto, pkt.Src, pkt.Dst, pkt.Size, note)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for PrintTracer documentation examples

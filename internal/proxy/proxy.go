@@ -1,0 +1,257 @@
+// Package proxy implements the paper's end-to-middle termination point: a
+// reverse HTTP proxy / load balancer (HAProxy in the original testbed)
+// that accepts plain HTTP from consumers and forwards requests to backend
+// web servers over the secured transport (basic, HIP or SSL). Round-robin
+// is the paper's configuration; least-connections is provided for the
+// ablation benchmarks.
+package proxy
+
+import (
+	"bufio"
+	"errors"
+	"net/netip"
+	"time"
+
+	"hipcloud/internal/metrics"
+	"hipcloud/internal/microhttp"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/secio"
+)
+
+// FrontPort is the port consumers connect to.
+const FrontPort uint16 = 8080
+
+// Policy selects the balancing algorithm.
+type Policy int
+
+// Balancing policies.
+const (
+	RoundRobin Policy = iota
+	LeastConn
+)
+
+func (p Policy) String() string {
+	if p == LeastConn {
+		return "leastconn"
+	}
+	return "roundrobin"
+}
+
+// ErrNoBackend is returned when no healthy backend exists.
+var ErrNoBackend = errors.New("proxy: no healthy backend")
+
+// Backend is one upstream web server.
+type Backend struct {
+	Name string
+	// Addr is the backend identifier on the backend transport: an IP for
+	// basic/SSL, a HIT or LSI for HIP.
+	Addr netip.Addr
+	Port uint16
+
+	healthy bool
+	active  int // in-flight requests (least-conn)
+	Served  uint64
+	pool    []*backendConn
+	free    []*backendConn
+	waitQ   *netsim.WaitQueue
+}
+
+// Healthy reports the backend's health-check status.
+func (b *Backend) Healthy() bool { return b.healthy }
+
+type backendConn struct {
+	c  secio.Conn
+	br *bufio.Reader
+}
+
+// Proxy is the load balancer.
+type Proxy struct {
+	Name string
+	// Front accepts consumer connections (plain in the paper).
+	Front *secio.Transport
+	// Back dials backends (basic/HIP/SSL — the measured variable).
+	Back     *secio.Transport
+	Policy   Policy
+	Backends []*Backend
+	// PoolSize bounds persistent connections per backend (default 32).
+	PoolSize int
+	// PerRequestCPU models HAProxy's per-request processing.
+	PerRequestCPU time.Duration
+	// HealthInterval enables periodic backend health checks when > 0.
+	HealthInterval time.Duration
+
+	rrNext int
+	// Stats.
+	Served, Errors uint64
+	Latency        metrics.Histogram
+}
+
+// AddBackend registers an upstream.
+func (x *Proxy) AddBackend(name string, addr netip.Addr, port uint16) *Backend {
+	b := &Backend{
+		Name: name, Addr: addr, Port: port, healthy: true,
+		waitQ: netsim.NewWaitQueue(x.Front.Stack.Node().Net().Sim()),
+	}
+	x.Backends = append(x.Backends, b)
+	return b
+}
+
+func (x *Proxy) poolSize() int {
+	if x.PoolSize > 0 {
+		return x.PoolSize
+	}
+	return 32
+}
+
+// pick chooses a healthy backend per policy.
+func (x *Proxy) pick() (*Backend, error) {
+	healthy := make([]*Backend, 0, len(x.Backends))
+	for _, b := range x.Backends {
+		if b.healthy {
+			healthy = append(healthy, b)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil, ErrNoBackend
+	}
+	switch x.Policy {
+	case LeastConn:
+		best := healthy[0]
+		for _, b := range healthy[1:] {
+			if b.active < best.active {
+				best = b
+			}
+		}
+		return best, nil
+	default:
+		b := healthy[x.rrNext%len(healthy)]
+		x.rrNext++
+		return b, nil
+	}
+}
+
+// acquire borrows a pooled connection to backend b.
+func (x *Proxy) acquire(p *netsim.Proc, b *Backend) (*backendConn, error) {
+	for {
+		if len(b.free) > 0 {
+			bc := b.free[len(b.free)-1]
+			b.free = b.free[:len(b.free)-1]
+			bc.c.Rebind(p)
+			return bc, nil
+		}
+		if len(b.pool) < x.poolSize() {
+			c, err := x.Back.Dial(p, b.Addr, b.Port)
+			if err != nil {
+				return nil, err
+			}
+			bc := &backendConn{c: c, br: bufio.NewReader(c)}
+			b.pool = append(b.pool, bc)
+			return bc, nil
+		}
+		b.waitQ.Wait(p, 0)
+	}
+}
+
+func (x *Proxy) release(b *Backend, bc *backendConn, broken bool) {
+	if broken {
+		bc.c.Close()
+		for i, pc := range b.pool {
+			if pc == bc {
+				b.pool = append(b.pool[:i], b.pool[i+1:]...)
+				break
+			}
+		}
+	} else {
+		b.free = append(b.free, bc)
+	}
+	b.waitQ.WakeOne()
+}
+
+// Run accepts consumer connections and proxies them. Call from Spawn.
+func (x *Proxy) Run(p *netsim.Proc) {
+	l := x.Front.MustListen(FrontPort)
+	if x.HealthInterval > 0 {
+		p.Spawn(x.Name+"/health", x.healthLoop)
+	}
+	for {
+		raw, err := l.AcceptRaw(p, 0)
+		if err != nil {
+			return
+		}
+		conn := raw
+		p.Spawn(x.Name+"/conn", func(hp *netsim.Proc) {
+			c, err := x.Front.ServerConn(hp, conn)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			br := bufio.NewReader(c)
+			node := x.Front.Stack.Node()
+			for {
+				req, err := microhttp.ReadRequest(br)
+				if err != nil {
+					return
+				}
+				start := hp.Now()
+				node.CPU().Use(hp, x.PerRequestCPU)
+				resp := x.forward(hp, req)
+				if resp.Status >= 500 {
+					x.Errors++
+				}
+				if err := microhttp.WriteResponse(c, resp); err != nil {
+					return
+				}
+				x.Served++
+				x.Latency.Add(hp.Now() - start)
+				if req.WantsClose() {
+					return
+				}
+			}
+		})
+	}
+}
+
+// forward relays one request to a backend.
+func (x *Proxy) forward(p *netsim.Proc, req *microhttp.Request) *microhttp.Response {
+	b, err := x.pick()
+	if err != nil {
+		return &microhttp.Response{Status: 503, Body: []byte(err.Error())}
+	}
+	b.active++
+	defer func() { b.active-- }()
+	bc, err := x.acquire(p, b)
+	if err != nil {
+		return &microhttp.Response{Status: 502, Body: []byte(err.Error())}
+	}
+	fwd := *req
+	fwd.Headers = map[string]string{"X-Forwarded-By": x.Name}
+	for k, v := range req.Headers {
+		fwd.Headers[k] = v
+	}
+	resp, err := microhttp.RoundTrip(bc.c, bc.br, &fwd)
+	if err != nil {
+		x.release(b, bc, true)
+		return &microhttp.Response{Status: 502, Body: []byte(err.Error())}
+	}
+	x.release(b, bc, resp.WantsClose())
+	b.Served++
+	return resp
+}
+
+// healthLoop probes each backend with a cheap request.
+func (x *Proxy) healthLoop(p *netsim.Proc) {
+	for {
+		p.Sleep(x.HealthInterval)
+		for _, b := range x.Backends {
+			bc, err := x.acquire(p, b)
+			if err != nil {
+				b.healthy = false
+				continue
+			}
+			resp, err := microhttp.RoundTrip(bc.c, bc.br, &microhttp.Request{Method: "GET", Path: "/home"})
+			ok := err == nil && resp.Status == 200
+			x.release(b, bc, err != nil)
+			b.healthy = ok
+		}
+	}
+}

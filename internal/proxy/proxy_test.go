@@ -1,0 +1,278 @@
+package proxy
+
+import (
+	"bufio"
+	"net/netip"
+	"testing"
+	"time"
+
+	"hipcloud/internal/cloud"
+	"hipcloud/internal/hip"
+	"hipcloud/internal/hipsim"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/microhttp"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/rubis"
+	"hipcloud/internal/secio"
+	"hipcloud/internal/simtcp"
+	"hipcloud/internal/workload"
+)
+
+// deployment is the paper's Figure 1 architecture: clients -> LB (outside
+// the cloud) -> 3 web VMs -> 1 DB VM.
+type deployment struct {
+	sim  *netsim.Sim
+	cliT *secio.Transport
+	lb   *Proxy
+	lbIP netip.Addr
+	webs []*rubis.WebServer
+	db   *rubis.Database
+}
+
+func deploy(t *testing.T, kind secio.Kind, policy Policy) *deployment {
+	t.Helper()
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	c := cloud.New(n, cloud.EC2)
+	tenant := &cloud.Tenant{Name: "t", VLAN: 1}
+	dbVM := c.Zones[0].Launch("db1", cloud.Large, tenant)
+	webVMs := []*cloud.VM{
+		c.Zones[0].Launch("web1", cloud.Micro, tenant),
+		c.Zones[0].Launch("web2", cloud.Micro, tenant),
+		c.Zones[0].Launch("web3", cloud.Micro, tenant),
+	}
+	lbNode := c.AttachExternal("lb", 8, 4)
+	clientNode := c.AttachExternal("clients", 8, 8)
+	db := rubis.Populate(7, 200, 1000)
+
+	plain := func(node *netsim.Node) *secio.Transport {
+		return &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(node, simtcp.NewPlainFabric(node))}
+	}
+	var reg *hipsim.Registry
+	mk := func(node *netsim.Node) (*secio.Transport, netip.Addr) {
+		switch kind {
+		case secio.HIP:
+			id := identity.MustGenerate(identity.AlgECDSA)
+			h, err := hip.NewHost(hip.Config{Identity: id, Locator: node.Addr(), Costs: cloud.HIPCosts(true)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := hipsim.New(node, h, reg)
+			return &secio.Transport{Kind: secio.HIP, Stack: simtcp.NewStack(node, f)}, reg.LSI(id.HIT())
+		case secio.SSL:
+			id := identity.MustGenerate(identity.AlgECDSA)
+			return &secio.Transport{
+				Kind: secio.SSL, Identity: id, Costs: cloud.TLSCosts(false),
+				Stack: simtcp.NewStack(node, simtcp.NewPlainFabric(node)),
+			}, node.Addr()
+		default:
+			return plain(node), node.Addr()
+		}
+	}
+	if kind == secio.HIP {
+		reg = hipsim.NewRegistry()
+	}
+	dbT, dbAddr := mk(dbVM.Node)
+	s.Spawn("db", (&rubis.DBServer{DB: db, Transport: dbT}).Run)
+	var webs []*rubis.WebServer
+	var webAddrs []netip.Addr
+	for i, vm := range webVMs {
+		wt, waddr := mk(vm.Node)
+		ws := &rubis.WebServer{
+			Name:      vm.Name,
+			Config:    rubis.DefaultWebConfig,
+			Transport: wt,
+			DB:        rubis.NewDBClient(wt, dbAddr, rubis.DefaultWebConfig.DBPool),
+		}
+		webs = append(webs, ws)
+		webAddrs = append(webAddrs, waddr)
+		s.Spawn(vm.Name, ws.Run)
+		_ = i
+	}
+	lbFront := plain(lbNode)
+	var lbBack *secio.Transport
+	switch kind {
+	case secio.Basic:
+		lbBack = lbFront
+	case secio.SSL:
+		// SSL client side shares the plain stream stack.
+		lbBack = &secio.Transport{Kind: secio.SSL, Stack: lbFront.Stack, Costs: cloud.TLSCosts(false)}
+	case secio.HIP:
+		lbBack, _ = mk(lbNode)
+	}
+	lb := &Proxy{
+		Name:          "haproxy",
+		Front:         lbFront,
+		Back:          lbBack,
+		Policy:        policy,
+		PerRequestCPU: 50 * time.Microsecond,
+	}
+	for i, a := range webAddrs {
+		lb.AddBackend(webs[i].Name, a, rubis.WebPort)
+	}
+	s.Spawn("lb", lb.Run)
+	return &deployment{
+		sim:  s,
+		cliT: plain(clientNode),
+		lb:   lb,
+		lbIP: lbNode.Addr(),
+		webs: webs,
+		db:   db,
+	}
+}
+
+func TestProxyRoundRobinSpreadsLoad(t *testing.T) {
+	d := deploy(t, secio.Basic, RoundRobin)
+	mix := rubis.NewMix(3, 1000, 200)
+	w := &workload.ClosedLoop{
+		Transport: d.cliT, Target: d.lbIP, Port: FrontPort,
+		Clients: 6, Duration: 5 * time.Second, NextPath: mix.Next,
+	}
+	res := w.Run(d.sim)
+	d.sim.Run(20 * time.Second)
+	d.sim.Shutdown()
+	if res.Completed < 50 {
+		t.Fatalf("completed = %d (errors=%d)", res.Completed, res.Errors)
+	}
+	total := uint64(0)
+	for _, b := range d.lb.Backends {
+		if b.Served == 0 {
+			t.Fatalf("backend %s served nothing", b.Name)
+		}
+		total += b.Served
+	}
+	// Round robin: no backend should carry more than half the load.
+	for _, b := range d.lb.Backends {
+		if b.Served > total/2+1 {
+			t.Fatalf("backend %s served %d of %d — not balanced", b.Name, b.Served, total)
+		}
+	}
+}
+
+func TestProxyOverHIPBackends(t *testing.T) {
+	d := deploy(t, secio.HIP, RoundRobin)
+	mix := rubis.NewMix(3, 1000, 200)
+	w := &workload.ClosedLoop{
+		Transport: d.cliT, Target: d.lbIP, Port: FrontPort,
+		Clients: 4, Duration: 4 * time.Second, NextPath: mix.Next,
+	}
+	res := w.Run(d.sim)
+	d.sim.Run(30 * time.Second)
+	d.sim.Shutdown()
+	if res.Completed < 20 {
+		t.Fatalf("completed = %d (errors=%d)", res.Completed, res.Errors)
+	}
+	// The consumer side carried no HIP: the proxy terminated it, exactly
+	// the paper's end-to-middle deployment.
+	if res.Errors > res.Completed/10 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+func TestProxyOverSSLBackends(t *testing.T) {
+	d := deploy(t, secio.SSL, RoundRobin)
+	mix := rubis.NewMix(3, 1000, 200)
+	w := &workload.ClosedLoop{
+		Transport: d.cliT, Target: d.lbIP, Port: FrontPort,
+		Clients: 4, Duration: 4 * time.Second, NextPath: mix.Next,
+	}
+	res := w.Run(d.sim)
+	d.sim.Run(30 * time.Second)
+	d.sim.Shutdown()
+	if res.Completed < 20 {
+		t.Fatalf("completed = %d (errors=%d)", res.Completed, res.Errors)
+	}
+}
+
+func TestLeastConnPolicy(t *testing.T) {
+	d := deploy(t, secio.Basic, LeastConn)
+	mix := rubis.NewMix(3, 1000, 200)
+	w := &workload.ClosedLoop{
+		Transport: d.cliT, Target: d.lbIP, Port: FrontPort,
+		Clients: 6, Duration: 3 * time.Second, NextPath: mix.Next,
+	}
+	res := w.Run(d.sim)
+	d.sim.Run(15 * time.Second)
+	d.sim.Shutdown()
+	if res.Completed < 30 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+func TestNoBackends503(t *testing.T) {
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	a := n.AddNode("a", 2, 1)
+	b := n.AddNode("b", 2, 1)
+	n.Connect(a, netip.MustParseAddr("10.0.0.1"), b, netip.MustParseAddr("10.0.0.2"), netsim.Link{Latency: time.Millisecond})
+	plainA := &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(a, simtcp.NewPlainFabric(a))}
+	plainB := &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(b, simtcp.NewPlainFabric(b))}
+	lb := &Proxy{Name: "lb", Front: plainB, Back: plainB}
+	s.Spawn("lb", lb.Run)
+	var status int
+	s.Spawn("client", func(p *netsim.Proc) {
+		c, err := plainA.Dial(p, netip.MustParseAddr("10.0.0.2"), FrontPort)
+		if err != nil {
+			return
+		}
+		br := bufio.NewReader(c)
+		resp, err := microhttp.RoundTrip(c, br, &microhttp.Request{Method: "GET", Path: "/"})
+		if err == nil {
+			status = resp.Status
+		}
+	})
+	s.Run(10 * time.Second)
+	s.Shutdown()
+	if status != 503 {
+		t.Fatalf("status = %d, want 503", status)
+	}
+}
+
+func TestHealthCheckMarksDeadBackend(t *testing.T) {
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	lbn := n.AddNode("lb", 4, 4)
+	web := n.AddNode("web", 2, 1)
+	dead := n.AddNode("dead", 2, 1)
+	r := n.AddRouter("r")
+	n.Connect(lbn, netip.MustParseAddr("10.0.0.1"), r, netip.MustParseAddr("10.0.0.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(web, netip.MustParseAddr("10.0.1.1"), r, netip.MustParseAddr("10.0.1.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(dead, netip.MustParseAddr("10.0.2.1"), r, netip.MustParseAddr("10.0.2.254"), netsim.Link{Latency: time.Millisecond})
+	lbn.AddDefaultRoute(netip.MustParseAddr("10.0.0.254"))
+	web.AddDefaultRoute(netip.MustParseAddr("10.0.1.254"))
+	dead.AddDefaultRoute(netip.MustParseAddr("10.0.2.254"))
+
+	mkPlain := func(nd *netsim.Node) *secio.Transport {
+		return &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(nd, simtcp.NewPlainFabric(nd))}
+	}
+	db := rubis.Populate(7, 50, 100)
+	webT := mkPlain(web)
+	// The live web server answers /home locally via a DB on the same VM.
+	dbT := webT
+	s.Spawn("db", (&rubis.DBServer{DB: db, Transport: dbT}).Run)
+	ws := &rubis.WebServer{
+		Name: "web", Config: rubis.DefaultWebConfig, Transport: webT,
+		DB: rubis.NewDBClient(webT, netip.MustParseAddr("10.0.1.1"), 2),
+	}
+	s.Spawn("web", ws.Run)
+
+	front := mkPlain(lbn)
+	back := &secio.Transport{Kind: secio.Basic, Stack: front.Stack, DialTimeout: 300 * time.Millisecond}
+	lb := &Proxy{
+		Name:           "lb",
+		Front:          front,
+		Back:           back,
+		HealthInterval: 500 * time.Millisecond,
+	}
+	lb.AddBackend("web", netip.MustParseAddr("10.0.1.1"), rubis.WebPort)
+	deadB := lb.AddBackend("dead", netip.MustParseAddr("10.0.2.1"), rubis.WebPort)
+	s.Spawn("lb", lb.Run)
+	s.Run(5 * time.Second)
+	s.Shutdown()
+	if deadB.Healthy() {
+		t.Fatal("dead backend still marked healthy")
+	}
+	if !lb.Backends[0].Healthy() {
+		t.Fatal("live backend marked unhealthy")
+	}
+}

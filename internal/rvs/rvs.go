@@ -1,0 +1,70 @@
+// Package rvs implements a HIP rendezvous server (RFC 5204): mobile or
+// freshly migrated hosts register their current locator; initiators send
+// I1 packets to the stable rendezvous address, which relays them with a
+// FROM parameter so the responder can answer the initiator directly. The
+// rest of the base exchange bypasses the rendezvous point.
+package rvs
+
+import (
+	"net/netip"
+
+	"hipcloud/internal/hipwire"
+	"hipcloud/internal/netsim"
+)
+
+// Server is a rendezvous middlebox on a public simulated node.
+type Server struct {
+	node *netsim.Node
+	// registrations: HIT -> current locator.
+	regs map[netip.Addr]netip.Addr
+	// Relayed counts forwarded I1s; Dropped counts unservable ones.
+	Relayed, Dropped uint64
+}
+
+// New starts a rendezvous server on node.
+func New(node *netsim.Node) *Server {
+	s := &Server{node: node, regs: make(map[netip.Addr]netip.Addr)}
+	node.TapRaw(netsim.ProtoHIP, s.onPacket)
+	return s
+}
+
+// Addr returns the rendezvous address initiators should target.
+func (s *Server) Addr() netip.Addr { return s.node.Addr() }
+
+// Register binds a HIT to its current locator (RFC 8003 registration is
+// abstracted to this call; re-registration follows mobility).
+func (s *Server) Register(hit, locator netip.Addr) { s.regs[hit] = locator }
+
+// Unregister removes a HIT.
+func (s *Server) Unregister(hit netip.Addr) { delete(s.regs, hit) }
+
+// Registrations reports the number of registered HITs.
+func (s *Server) Registrations() int { return len(s.regs) }
+
+func (s *Server) onPacket(pkt *netsim.Packet) {
+	msg, err := hipwire.Parse(pkt.Payload)
+	if err != nil || msg.Type != hipwire.I1 {
+		s.Dropped++
+		return
+	}
+	locator, ok := s.regs[msg.ReceiverHIT]
+	if !ok {
+		s.Dropped++
+		return
+	}
+	// Relay with FROM carrying the initiator's source address; the
+	// responder replies to it directly, adding VIA_RVS.
+	relayed := &hipwire.Packet{
+		Type:        msg.Type,
+		Controls:    msg.Controls,
+		SenderHIT:   msg.SenderHIT,
+		ReceiverHIT: msg.ReceiverHIT,
+		Params:      msg.Params,
+	}
+	relayed.Add(hipwire.ParamFrom, hipwire.MarshalAddr(pkt.Src.Addr()))
+	s.Relayed++
+	s.node.SendRaw(netsim.ProtoHIP,
+		netip.AddrPortFrom(s.node.Addr(), 0),
+		netip.AddrPortFrom(locator, 0),
+		relayed.Marshal(), 0)
+}

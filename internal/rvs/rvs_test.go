@@ -1,0 +1,128 @@
+package rvs
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"hipcloud/internal/hip"
+	"hipcloud/internal/hipsim"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/simtcp"
+)
+
+var (
+	idA = identity.MustGenerate(identity.AlgECDSA)
+	idB = identity.MustGenerate(identity.AlgECDSA)
+)
+
+// world: initiator A, responder B, rendezvous R, all on one router.
+func world(t *testing.T) (*netsim.Sim, *Server, *hipsim.Fabric, *hipsim.Fabric, *simtcp.Stack, *simtcp.Stack, *hipsim.Registry) {
+	t.Helper()
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	r := n.AddRouter("core")
+	a := n.AddNode("a", 2, 1)
+	b := n.AddNode("b", 2, 1)
+	rv := n.AddNode("rvs", 4, 4)
+	must := netip.MustParseAddr
+	n.Connect(a, must("10.0.1.1"), r, must("10.0.1.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(b, must("10.0.2.1"), r, must("10.0.2.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(rv, must("10.0.3.1"), r, must("10.0.3.254"), netsim.Link{Latency: time.Millisecond})
+	a.AddDefaultRoute(must("10.0.1.254"))
+	b.AddDefaultRoute(must("10.0.2.254"))
+	rv.AddDefaultRoute(must("10.0.3.254"))
+
+	srv := New(rv)
+	reg := hipsim.NewRegistry()
+	ha, _ := hip.NewHost(hip.Config{Identity: idA, Locator: a.Addr()})
+	hb, _ := hip.NewHost(hip.Config{Identity: idB, Locator: b.Addr()})
+	fa := hipsim.New(a, ha, reg)
+	fb := hipsim.New(b, hb, reg)
+	return s, srv, fa, fb, simtcp.NewStack(a, fa), simtcp.NewStack(b, fb), reg
+}
+
+func TestI1RelayCompletesBEX(t *testing.T) {
+	s, srv, fa, fb, sa, sb, reg := world(t)
+	// The initiator does NOT know B's real locator: the registry maps
+	// B's HIT to the rendezvous address (what a HIP RR with an RVS field
+	// resolves to).
+	srv.Register(idB.HIT(), netip.MustParseAddr("10.0.2.1"))
+	reg.Update(idB.HIT(), srv.Addr())
+
+	l := sb.MustListen(80)
+	s.Spawn("server", func(p *netsim.Proc) {
+		c, err := l.Accept(p, 0)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		n, _ := c.Read(p, buf)
+		c.Write(p, buf[:n])
+		c.Close()
+	})
+	var got []byte
+	s.Spawn("client", func(p *netsim.Proc) {
+		c, err := sa.Dial(p, idB.HIT(), 80, 10*time.Second)
+		if err != nil {
+			t.Errorf("dial via rvs: %v", err)
+			return
+		}
+		c.Write(p, []byte("through rendezvous"))
+		buf := make([]byte, 64)
+		n, err := c.Read(p, buf)
+		if err == nil {
+			got = buf[:n]
+		}
+		c.Close()
+	})
+	s.Run(time.Minute)
+	s.Shutdown()
+	if string(got) != "through rendezvous" {
+		t.Fatalf("got %q", got)
+	}
+	if srv.Relayed == 0 {
+		t.Fatal("rendezvous relayed nothing")
+	}
+	// Data flows directly between A and B afterwards: the established
+	// association's peer locator on A must be B's address, not the RVS.
+	if assoc, ok := fa.Host().Association(idB.HIT()); !ok || assoc.PeerLocator != netip.MustParseAddr("10.0.2.1") {
+		t.Fatalf("peer locator = %+v, want direct path", assoc)
+	}
+	_ = fb
+}
+
+func TestUnregisteredHITDropped(t *testing.T) {
+	s, srv, _, _, sa, _, reg := world(t)
+	reg.Update(idB.HIT(), srv.Addr()) // points at RVS, but B never registered
+	var err error
+	s.Spawn("client", func(p *netsim.Proc) {
+		_, err = sa.Dial(p, idB.HIT(), 80, 3*time.Second)
+	})
+	s.Run(time.Minute)
+	s.Shutdown()
+	if err == nil {
+		t.Fatal("dial succeeded despite unregistered HIT")
+	}
+	if srv.Dropped == 0 {
+		t.Fatal("rvs did not account the drop")
+	}
+}
+
+func TestReRegistrationFollowsMobility(t *testing.T) {
+	s, srv, _, _, _, _, _ := world(t)
+	srv.Register(idB.HIT(), netip.MustParseAddr("10.0.2.1"))
+	if srv.Registrations() != 1 {
+		t.Fatal("registration missing")
+	}
+	srv.Register(idB.HIT(), netip.MustParseAddr("10.0.9.1"))
+	if srv.Registrations() != 1 {
+		t.Fatal("re-registration duplicated")
+	}
+	srv.Unregister(idB.HIT())
+	if srv.Registrations() != 0 {
+		t.Fatal("unregister failed")
+	}
+	_ = s
+}

@@ -1,0 +1,263 @@
+package secio
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"hipcloud/internal/cloud"
+	"hipcloud/internal/hip"
+	"hipcloud/internal/hipsim"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/simtcp"
+)
+
+var (
+	addrA = netip.MustParseAddr("10.0.0.1")
+	addrB = netip.MustParseAddr("10.0.0.2")
+	srvID = identity.MustGenerate(identity.AlgECDSA)
+	cliID = identity.MustGenerate(identity.AlgECDSA)
+)
+
+// build returns matched client/server transports for the scenario and the
+// address clients should dial.
+func build(t *testing.T, kind Kind) (*netsim.Sim, *Transport, *Transport, netip.Addr) {
+	t.Helper()
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	a := n.AddNode("a", 2, 2)
+	b := n.AddNode("b", 2, 2)
+	n.Connect(a, addrA, b, addrB, netsim.Link{Latency: time.Millisecond})
+	switch kind {
+	case HIP:
+		reg := hipsim.NewRegistry()
+		mk := func(node *netsim.Node, id *identity.HostIdentity) *Transport {
+			h, err := hip.NewHost(hip.Config{Identity: id, Locator: node.Addr()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &Transport{Kind: HIP, Stack: simtcp.NewStack(node, hipsim.New(node, h, reg))}
+		}
+		return s, mk(a, cliID), mk(b, srvID), srvID.HIT()
+	case SSL:
+		cli := &Transport{Kind: SSL, Stack: simtcp.NewStack(a, simtcp.NewPlainFabric(a)), Costs: cloud.TLSCosts(false)}
+		srv := &Transport{Kind: SSL, Stack: simtcp.NewStack(b, simtcp.NewPlainFabric(b)), Identity: srvID, Costs: cloud.TLSCosts(false)}
+		return s, cli, srv, addrB
+	default:
+		cli := &Transport{Kind: Basic, Stack: simtcp.NewStack(a, simtcp.NewPlainFabric(a))}
+		srv := &Transport{Kind: Basic, Stack: simtcp.NewStack(b, simtcp.NewPlainFabric(b))}
+		return s, cli, srv, addrB
+	}
+}
+
+func TestEchoAcrossAllScenarios(t *testing.T) {
+	for _, kind := range []Kind{Basic, HIP, SSL} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			s, cli, srv, target := build(t, kind)
+			l := srv.MustListen(80)
+			s.Spawn("server", func(p *netsim.Proc) {
+				c, err := l.Accept(p, 0)
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				buf := make([]byte, 64)
+				n, err := c.Read(buf)
+				if err != nil {
+					return
+				}
+				c.Write(buf[:n])
+			})
+			var got []byte
+			s.Spawn("client", func(p *netsim.Proc) {
+				c, err := cli.Dial(p, target, 80)
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				defer c.Close()
+				c.Write([]byte("ping"))
+				buf := make([]byte, 64)
+				n, err := c.Read(buf)
+				if err == nil {
+					got = buf[:n]
+				}
+			})
+			s.Run(30 * time.Second)
+			s.Shutdown()
+			if !bytes.Equal(got, []byte("ping")) {
+				t.Fatalf("got %q", got)
+			}
+		})
+	}
+}
+
+func TestSSLListenerRequiresIdentity(t *testing.T) {
+	s, cli, _, _ := build(t, SSL)
+	bad := &Transport{Kind: SSL, Stack: cli.Stack}
+	if _, err := bad.Listen(99); err != ErrNeedIdentity {
+		t.Fatalf("err = %v, want ErrNeedIdentity", err)
+	}
+	_ = s
+}
+
+func TestSSLWirePayloadIsEncrypted(t *testing.T) {
+	s, cli, srv, target := build(t, SSL)
+	secret := []byte("SUPER-SECRET-TOKEN-1234567890-ABCDEF")
+	var leaked bool
+	s.SetTracer(func(at netsim.VTime, kind netsim.TraceKind, node string, pkt *netsim.Packet, note string) {
+		if bytes.Contains(pkt.Payload, secret) {
+			leaked = true
+		}
+	})
+	l := srv.MustListen(80)
+	s.Spawn("server", func(p *netsim.Proc) {
+		c, err := l.Accept(p, 0)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 128)
+		c.Read(buf)
+	})
+	s.Spawn("client", func(p *netsim.Proc) {
+		c, err := cli.Dial(p, target, 80)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write(secret)
+	})
+	s.Run(30 * time.Second)
+	s.Shutdown()
+	if leaked {
+		t.Fatal("secret visible on the wire under SSL")
+	}
+}
+
+func TestHIPWirePayloadIsEncrypted(t *testing.T) {
+	s, cli, srv, target := build(t, HIP)
+	secret := []byte("SUPER-SECRET-TOKEN-1234567890-ABCDEF")
+	var leaked bool
+	s.SetTracer(func(at netsim.VTime, kind netsim.TraceKind, node string, pkt *netsim.Packet, note string) {
+		if bytes.Contains(pkt.Payload, secret) {
+			leaked = true
+		}
+	})
+	l := srv.MustListen(80)
+	s.Spawn("server", func(p *netsim.Proc) {
+		c, err := l.Accept(p, 0)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 128)
+		c.Read(buf)
+	})
+	s.Spawn("client", func(p *netsim.Proc) {
+		c, err := cli.Dial(p, target, 80)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write(secret)
+	})
+	s.Run(30 * time.Second)
+	s.Shutdown()
+	if leaked {
+		t.Fatal("secret visible on the wire under HIP/ESP")
+	}
+}
+
+func TestBasicWirePayloadIsPlain(t *testing.T) {
+	// Sanity: the tracer actually sees payloads — basic MUST leak.
+	s, cli, srv, target := build(t, Basic)
+	secret := []byte("VISIBLE-ON-THE-WIRE")
+	var seen bool
+	s.SetTracer(func(at netsim.VTime, kind netsim.TraceKind, node string, pkt *netsim.Packet, note string) {
+		if bytes.Contains(pkt.Payload, secret) {
+			seen = true
+		}
+	})
+	l := srv.MustListen(80)
+	s.Spawn("server", func(p *netsim.Proc) {
+		c, err := l.Accept(p, 0)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Read(make([]byte, 128))
+	})
+	s.Spawn("client", func(p *netsim.Proc) {
+		c, err := cli.Dial(p, target, 80)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write(secret)
+	})
+	s.Run(30 * time.Second)
+	s.Shutdown()
+	if !seen {
+		t.Fatal("tracer never saw the plaintext under basic — eavesdropping check is vacuous")
+	}
+}
+
+func TestRebindAcrossProcs(t *testing.T) {
+	s, cli, srv, target := build(t, SSL)
+	l := srv.MustListen(80)
+	s.Spawn("server", func(p *netsim.Proc) {
+		c, err := l.Accept(p, 0)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	})
+	var rounds int
+	s.Spawn("owner", func(p *netsim.Proc) {
+		c, err := cli.Dial(p, target, 80)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		c.Write([]byte("one"))
+		if _, err := c.Read(buf); err == nil {
+			rounds++
+		}
+		// Hand the pooled connection to a different process.
+		done := netsim.NewWaitQueue(s)
+		p.Spawn("borrower", func(bp *netsim.Proc) {
+			c.Rebind(bp)
+			c.Write([]byte("two"))
+			if _, err := c.Read(buf); err == nil {
+				rounds++
+			}
+			done.WakeAll()
+		})
+		done.Wait(p, 0)
+		c.Rebind(p)
+		c.Write([]byte("three"))
+		if _, err := c.Read(buf); err == nil {
+			rounds++
+		}
+		c.Close()
+	})
+	s.Run(30 * time.Second)
+	s.Shutdown()
+	if rounds != 3 {
+		t.Fatalf("rounds = %d, want 3 across rebinds", rounds)
+	}
+}

@@ -1,0 +1,563 @@
+// Package simtcp provides blocking, TCP-like stream connections inside the
+// netsim simulator, built on the sans-io core of hipcloud/internal/stream.
+//
+// A Stack is attached to one simulated node and multiplexes any number of
+// connections over a Fabric — the thing that actually carries marshaled
+// segments. Two fabrics exist:
+//
+//   - the plain fabric in this package (segments over a well-known
+//     simulated UDP port), used for the paper's "basic" and SSL scenarios;
+//   - the HIP/ESP fabric in hipcloud/internal/hipsim, which runs the base
+//     exchange on first contact and seals every segment in ESP.
+//
+// All crypto/packet CPU costs reported by the fabric are charged to the
+// node's simulated CPU by the stack's pump process, so security protocols
+// consume VM compute exactly where the paper says they do.
+package simtcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"time"
+
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/stream"
+)
+
+// Errors returned by stack operations.
+var (
+	ErrTimeout   = errors.New("simtcp: operation timed out")
+	ErrRefused   = errors.New("simtcp: connection refused")
+	ErrClosed    = errors.New("simtcp: closed")
+	ErrReset     = errors.New("simtcp: connection reset")
+	ErrPortInUse = errors.New("simtcp: port already bound")
+)
+
+// Fabric carries marshaled segments between stacks. Implementations
+// translate peer addresses (IPs, HITs or LSIs) into actual delivery.
+type Fabric interface {
+	// Canonical maps a user-supplied peer identifier (IP, HIT or LSI) to
+	// the canonical address connections are keyed on (LSIs map to HITs;
+	// the fabric remembers that the peer is in LSI mode for costing).
+	Canonical(peer netip.Addr) (netip.Addr, error)
+	// Establish prepares connectivity with peer (e.g. runs a HIP base
+	// exchange), blocking the calling process. The plain fabric is a
+	// no-op. It returns the CPU cost already charged (informational).
+	Establish(p *netsim.Proc, peer netip.Addr) error
+	// Send transmits one wire unit to the peer and returns the CPU cost
+	// the stack should charge for it. Called from the pump process.
+	Send(peer netip.Addr, data []byte) (cost time.Duration, err error)
+	// Attach gives the fabric its delivery callback: inbound wire units
+	// are passed to deliver together with their decode CPU cost.
+	// deliver must be called in scheduler context.
+	Attach(deliver func(peer netip.Addr, data []byte, cost time.Duration))
+}
+
+// segment mux header: local (sender) port, remote (receiver) port.
+const muxHeader = 4
+
+type connKey struct {
+	peer       netip.Addr
+	localPort  uint16
+	remotePort uint16
+}
+
+// Stack is the per-node stream transport.
+type Stack struct {
+	sim    *netsim.Sim
+	node   *netsim.Node
+	fabric Fabric
+
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+
+	pending []inSeg // delivered, not yet pumped
+	dirty   map[*Conn]bool
+	debt    time.Duration // CPU cost accumulated in scheduler context
+	wakeQ   *netsim.WaitQueue
+	armed   map[*Conn]netsim.VTime // armed timer deadlines
+
+	closed bool
+}
+
+type inSeg struct {
+	key  connKey
+	data []byte
+}
+
+// NewStack creates a stream stack on node over the given fabric and starts
+// its pump process.
+func NewStack(node *netsim.Node, fabric Fabric) *Stack {
+	s := &Stack{
+		sim:       node.Net().Sim(),
+		node:      node,
+		fabric:    fabric,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  40000,
+		dirty:     make(map[*Conn]bool),
+		armed:     make(map[*Conn]netsim.VTime),
+	}
+	s.wakeQ = netsim.NewWaitQueue(s.sim)
+	fabric.Attach(s.deliver)
+	s.sim.Spawn(node.Name()+"/tcp-pump", s.pump)
+	return s
+}
+
+// Node returns the owning node.
+func (s *Stack) Node() *netsim.Node { return s.node }
+
+// deliver receives one wire unit from the fabric (scheduler context).
+func (s *Stack) deliver(peer netip.Addr, data []byte, cost time.Duration) {
+	if s.closed || len(data) < muxHeader {
+		return
+	}
+	// Sender's local port is our remote port and vice versa.
+	remotePort := binary.BigEndian.Uint16(data[0:])
+	localPort := binary.BigEndian.Uint16(data[2:])
+	key := connKey{peer: peer, localPort: localPort, remotePort: remotePort}
+	s.debt += cost + s.node.PerPacketCPU()
+	s.pending = append(s.pending, inSeg{key: key, data: data[muxHeader:]})
+	s.wakeQ.WakeOne()
+}
+
+// wakePump nudges the pump process (proc or scheduler context).
+func (s *Stack) wakePump() { s.wakeQ.WakeOne() }
+
+// pump is the stack's kernel process: it charges CPU debt, feeds inbound
+// segments to connections, packetizes outbound data, and manages timers.
+func (s *Stack) pump(p *netsim.Proc) {
+	for !s.closed {
+		// Charge any CPU cost accumulated in scheduler context.
+		if s.debt > 0 {
+			d := s.debt
+			s.debt = 0
+			s.node.CPU().Use(p, d)
+		}
+		// Inbound segments.
+		for len(s.pending) > 0 {
+			in := s.pending[0]
+			s.pending = s.pending[1:]
+			s.handleSegment(p, in)
+		}
+		// Outbound for dirty conns.
+		for c := range s.dirty {
+			delete(s.dirty, c)
+			s.flush(p, c)
+		}
+		if len(s.pending) > 0 || len(s.dirty) > 0 {
+			continue
+		}
+		// Sleep until woken or the earliest timer.
+		var next netsim.VTime
+		for c, at := range s.armed {
+			if c.closedByUser && c.inner.State() == stream.StateClosed {
+				delete(s.armed, c)
+				continue
+			}
+			if next == 0 || at < next {
+				next = at
+			}
+		}
+		if next == 0 {
+			s.wakeQ.Wait(p, 0)
+			continue
+		}
+		d := next - p.Now()
+		if d > 0 {
+			if !s.wakeQ.Wait(p, d) {
+				continue // woken by work
+			}
+		}
+		// A deadline passed: fire timers.
+		now := p.Now()
+		for c, at := range s.armed {
+			if at <= now {
+				delete(s.armed, c)
+				c.inner.OnTimer(now)
+				s.dirty[c] = true
+			}
+		}
+	}
+}
+
+// handleSegment routes an inbound segment to a conn or listener.
+func (s *Stack) handleSegment(p *netsim.Proc, in inSeg) {
+	seg, err := stream.ParseSegment(in.data)
+	if err != nil {
+		return
+	}
+	c, ok := s.conns[in.key]
+	if !ok {
+		// New connection? Only for SYN to a listener.
+		if seg.Flags&stream.FlagSYN == 0 || seg.Flags&stream.FlagACK != 0 {
+			return
+		}
+		l, ok := s.listeners[in.key.localPort]
+		if !ok || len(l.backlog) >= l.maxBacklog {
+			return // silently drop; dialer times out (or RST later)
+		}
+		c = s.newConn(in.key)
+		l.backlog = append(l.backlog, c)
+		l.wq.WakeOne()
+	}
+	c.inner.OnSegment(seg, p.Now())
+	s.dirty[c] = true
+	c.signal()
+}
+
+// flush drains a conn's outgoing segments through the fabric.
+func (s *Stack) flush(p *netsim.Proc, c *Conn) {
+	segs, deadline := c.inner.Poll(p.Now())
+	var cost time.Duration
+	for _, seg := range segs {
+		wire := make([]byte, muxHeader+stream.HeaderSize+len(seg.Payload))
+		binary.BigEndian.PutUint16(wire[0:], c.key.localPort)
+		binary.BigEndian.PutUint16(wire[2:], c.key.remotePort)
+		copy(wire[muxHeader:], seg.Marshal())
+		sc, err := s.fabric.Send(c.key.peer, wire)
+		if err != nil {
+			c.inner.Abort()
+			break
+		}
+		cost += sc + s.node.PerPacketCPU()
+	}
+	if cost > 0 {
+		s.node.CPU().Use(p, cost)
+	}
+	if deadline > 0 {
+		s.armed[c] = deadline
+		s.wakePump() // re-evaluate sleep horizon
+	} else {
+		delete(s.armed, c)
+	}
+	c.signal()
+	// Garbage-collect fully closed conns.
+	st := c.inner.State()
+	if st == stream.StateClosed || st == stream.StateReset {
+		if c.closedByUser {
+			delete(s.conns, c.key)
+		}
+	}
+}
+
+func (s *Stack) newConn(key connKey) *Conn {
+	c := &Conn{
+		stack: s,
+		key:   key,
+		inner: stream.New(stream.Config{}, uint32(s.sim.Rand().Int63())),
+		rq:    netsim.NewWaitQueue(s.sim),
+		wq:    netsim.NewWaitQueue(s.sim),
+	}
+	s.conns[key] = c
+	return c
+}
+
+func (s *Stack) allocPort() uint16 {
+	for {
+		s.nextPort++
+		if s.nextPort < 40000 {
+			s.nextPort = 40000
+		}
+		free := true
+		for k := range s.conns {
+			if k.localPort == s.nextPort {
+				free = false
+				break
+			}
+		}
+		if _, used := s.listeners[s.nextPort]; !used {
+			if free {
+				return s.nextPort
+			}
+		}
+	}
+}
+
+// Dial opens a stream to peer:port, blocking p until established or the
+// timeout elapses (timeout <= 0 waits forever). peer may be an IP, a HIT
+// or an LSI, depending on the fabric.
+func (s *Stack) Dial(p *netsim.Proc, peer netip.Addr, port uint16, timeout time.Duration) (*Conn, error) {
+	canon, err := s.fabric.Canonical(peer)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fabric.Establish(p, canon); err != nil {
+		return nil, err
+	}
+	key := connKey{peer: canon, localPort: s.allocPort(), remotePort: port}
+	c := s.newConn(key)
+	c.inner.Open(p.Now())
+	s.dirty[c] = true
+	s.wakePump()
+	deadline := netsim.VTime(0)
+	if timeout > 0 {
+		deadline = p.Now() + timeout
+	}
+	for !c.inner.Established() {
+		st := c.inner.State()
+		if st == stream.StateReset {
+			delete(s.conns, key)
+			return nil, ErrRefused
+		}
+		remain := netsim.VTime(0)
+		if deadline > 0 {
+			remain = deadline - p.Now()
+			if remain <= 0 {
+				delete(s.conns, key)
+				return nil, ErrTimeout
+			}
+		}
+		if c.rq.Wait(p, remain) {
+			delete(s.conns, key)
+			return nil, ErrTimeout
+		}
+	}
+	return c, nil
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	stack      *Stack
+	port       uint16
+	backlog    []*Conn
+	maxBacklog int
+	wq         *netsim.WaitQueue
+	closed     bool
+}
+
+// Listen binds a listener on port.
+func (s *Stack) Listen(port uint16) (*Listener, error) {
+	if _, used := s.listeners[port]; used {
+		return nil, ErrPortInUse
+	}
+	l := &Listener{stack: s, port: port, maxBacklog: 128, wq: netsim.NewWaitQueue(s.sim)}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// MustListen is Listen that panics on error.
+func (s *Stack) MustListen(port uint16) *Listener {
+	l, err := s.Listen(port)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Accept blocks p until a connection arrives (it may still be mid
+// handshake; Reads will block until data flows).
+func (l *Listener) Accept(p *netsim.Proc, timeout time.Duration) (*Conn, error) {
+	deadline := netsim.VTime(0)
+	if timeout > 0 {
+		deadline = p.Now() + timeout
+	}
+	for len(l.backlog) == 0 {
+		if l.closed {
+			return nil, ErrClosed
+		}
+		remain := netsim.VTime(0)
+		if deadline > 0 {
+			remain = deadline - p.Now()
+			if remain <= 0 {
+				return nil, ErrTimeout
+			}
+		}
+		if l.wq.Wait(p, remain) {
+			return nil, ErrTimeout
+		}
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.stack.listeners, l.port)
+	l.wq.WakeAll()
+}
+
+// Conn is a blocking stream connection.
+type Conn struct {
+	stack        *Stack
+	key          connKey
+	inner        *stream.Conn
+	rq, wq       *netsim.WaitQueue
+	closedByUser bool
+}
+
+// RemoteAddr returns the peer address the connection was keyed on.
+func (c *Conn) RemoteAddr() netip.Addr { return c.key.peer }
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.key.localPort }
+
+// signal wakes blocked readers/writers according to conn state.
+func (c *Conn) signal() {
+	if c.inner.Readable() {
+		c.rq.WakeAll()
+	}
+	if c.inner.Writable() || c.inner.State() == stream.StateReset {
+		c.wq.WakeAll()
+	}
+	if c.inner.Established() || c.inner.State() == stream.StateReset {
+		c.rq.WakeAll() // dialers waiting for establishment
+	}
+}
+
+// Read blocks p until data is available, EOF, or error.
+func (c *Conn) Read(p *netsim.Proc, b []byte) (int, error) {
+	for {
+		n, err := c.inner.Read(b)
+		if n > 0 {
+			if c.inner.MaybeWindowUpdate() {
+				c.stack.dirty[c] = true
+				c.stack.wakePump()
+			}
+			return n, nil
+		}
+		switch err {
+		case stream.ErrEOF:
+			return 0, ErrClosed
+		case stream.ErrReset:
+			return 0, ErrReset
+		}
+		c.rq.Wait(p, 0)
+	}
+}
+
+// Write blocks p until all of b is accepted into the send buffer.
+func (c *Conn) Write(p *netsim.Proc, b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		n, err := c.inner.Write(b)
+		if err != nil {
+			switch err {
+			case stream.ErrReset:
+				return total, ErrReset
+			default:
+				return total, ErrClosed
+			}
+		}
+		total += n
+		b = b[n:]
+		if n > 0 {
+			c.stack.dirty[c] = true
+			c.stack.wakePump()
+		}
+		if len(b) > 0 {
+			c.wq.Wait(p, 0)
+		}
+	}
+	return total, nil
+}
+
+// Close starts an orderly shutdown (buffered data still delivered).
+func (c *Conn) Close() {
+	if c.closedByUser {
+		return
+	}
+	c.closedByUser = true
+	c.inner.Close()
+	c.stack.dirty[c] = true
+	c.stack.wakePump()
+}
+
+// Abort resets the connection immediately.
+func (c *Conn) Abort() {
+	c.inner.Abort()
+	c.closedByUser = true
+	c.stack.dirty[c] = true
+	c.stack.wakePump()
+}
+
+// Stats exposes the underlying stream counters.
+func (c *Conn) Stats() (sent, rcvd, retransmits uint64) {
+	return c.inner.BytesSent, c.inner.BytesRcvd, c.inner.Retransmits + c.inner.FastRetransmits
+}
+
+// Bind returns an io.ReadWriteCloser view of the connection for the given
+// process, so byte-oriented protocol code (HTTP, TLS) can run over
+// simulated connections unchanged.
+func (c *Conn) Bind(p *netsim.Proc) *BoundConn { return &BoundConn{c: c, p: p} }
+
+// BoundConn is a Conn bound to one process.
+type BoundConn struct {
+	c *Conn
+	p *netsim.Proc
+}
+
+// Read implements io.Reader.
+func (b *BoundConn) Read(buf []byte) (int, error) { return b.c.Read(b.p, buf) }
+
+// Write implements io.Writer.
+func (b *BoundConn) Write(buf []byte) (int, error) { return b.c.Write(b.p, buf) }
+
+// Close implements io.Closer.
+func (b *BoundConn) Close() error {
+	b.c.Close()
+	return nil
+}
+
+// Conn returns the underlying connection.
+func (b *BoundConn) Conn() *Conn { return b.c }
+
+// Proc returns the currently bound process.
+func (b *BoundConn) Proc() *netsim.Proc { return b.p }
+
+// Rebind transfers the view to another process (connection pooling: a
+// different handler process reuses a persistent connection). The caller
+// must guarantee the previous process no longer uses the view.
+func (b *BoundConn) Rebind(p *netsim.Proc) { b.p = p }
+
+// --- Plain fabric ---
+
+// PlainPort is the well-known simulated UDP port carrying plain segments
+// (the "TCP module" of a node).
+const PlainPort = 6
+
+// PlainFabric carries segments over simulated UDP with no protection: the
+// paper's "basic" scenario.
+type PlainFabric struct {
+	node    *netsim.Node
+	sock    *netsim.UDPSocket
+	deliver func(peer netip.Addr, data []byte, cost time.Duration)
+	// PerPacketCost models bare packet-processing CPU (no crypto).
+	PerPacketCost time.Duration
+}
+
+// NewPlainFabric binds the plain fabric on node.
+func NewPlainFabric(node *netsim.Node) *PlainFabric {
+	f := &PlainFabric{node: node}
+	f.sock = node.MustBindUDP(PlainPort)
+	f.sock.Handler = func(dg netsim.Datagram) {
+		if f.deliver != nil {
+			f.deliver(dg.Src.Addr(), dg.Payload, f.PerPacketCost)
+		}
+	}
+	return f
+}
+
+// Canonical is the identity for plain transport.
+func (f *PlainFabric) Canonical(peer netip.Addr) (netip.Addr, error) { return peer, nil }
+
+// Establish is a no-op for plain transport.
+func (f *PlainFabric) Establish(p *netsim.Proc, peer netip.Addr) error { return nil }
+
+// Send transmits a segment to the peer's plain port.
+func (f *PlainFabric) Send(peer netip.Addr, data []byte) (time.Duration, error) {
+	f.sock.SendTo(netip.AddrPortFrom(peer, PlainPort), data)
+	return f.PerPacketCost, nil
+}
+
+// Attach installs the delivery callback.
+func (f *PlainFabric) Attach(deliver func(peer netip.Addr, data []byte, cost time.Duration)) {
+	f.deliver = deliver
+}

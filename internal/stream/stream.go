@@ -1,0 +1,746 @@
+// Package stream implements a sans-io reliable byte-stream protocol
+// (a compact TCP: three-way handshake, sliding window, cumulative ACKs,
+// RTT-estimated retransmission timeout, fast retransmit, FIN teardown).
+//
+// The core is a pure state machine: segments and clock readings go in,
+// segments, timer deadlines and readable/writable transitions come out.
+// Drivers bind it to the netsim simulator (hipcloud/internal/netsim) or to
+// real datagram transports (ESP-over-UDP in hipcloud/internal/hipudp).
+package stream
+
+import (
+	"errors"
+	"time"
+)
+
+// Protocol limits and defaults.
+const (
+	DefaultMSS        = 1400
+	DefaultWindow     = 87381 // ≈85.3 KiB, the iperf window used in the paper
+	DefaultSendBuf    = 256 * 1024
+	DefaultInitialRTO = 200 * time.Millisecond
+	MinRTO            = 20 * time.Millisecond
+	MaxRTO            = 10 * time.Second
+	maxRetries        = 12
+)
+
+// State is the connection state.
+type State int
+
+// Connection states (a compact subset of TCP's).
+const (
+	StateClosed State = iota
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateLastAck
+	StateReset
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynRcvd:
+		return "syn-rcvd"
+	case StateEstablished:
+		return "established"
+	case StateFinWait1:
+		return "fin-wait-1"
+	case StateFinWait2:
+		return "fin-wait-2"
+	case StateCloseWait:
+		return "close-wait"
+	case StateLastAck:
+		return "last-ack"
+	case StateReset:
+		return "reset"
+	}
+	return "state(?)"
+}
+
+// Errors reported by stream operations.
+var (
+	ErrClosed = errors.New("stream: connection closed")
+	ErrReset  = errors.New("stream: connection reset")
+	ErrEOF    = errors.New("stream: end of stream")
+)
+
+// Config tunes a connection.
+type Config struct {
+	MSS        int
+	Window     int // receive window advertised to the peer
+	SendBuf    int // local send buffer bound
+	InitialRTO time.Duration
+	// Now is the connection's epoch; segments timestamps are durations
+	// from an arbitrary zero maintained by the driver.
+}
+
+func (c *Config) fill() {
+	if c.MSS <= 0 {
+		c.MSS = DefaultMSS
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.SendBuf <= 0 {
+		c.SendBuf = DefaultSendBuf
+	}
+	if c.InitialRTO <= 0 {
+		c.InitialRTO = DefaultInitialRTO
+	}
+}
+
+// Conn is a sans-io reliable stream connection. It is not safe for
+// concurrent use; drivers serialize access.
+type Conn struct {
+	cfg   Config
+	state State
+
+	// Send side.
+	sndISS  uint32
+	sndUna  uint32 // oldest unacknowledged
+	sndNxt  uint32 // next sequence to send
+	sndBuf  []byte // unsent+unacked bytes, starting at sndUna
+	peerWnd uint32
+	// Congestion control (Reno-style slow start + AIMD).
+	cwnd        int
+	ssthresh    int
+	finQueued   bool
+	finSent     bool
+	finSeq      uint32
+	retries     int
+	rtoDeadline time.Duration // zero when no timer armed
+	rto         time.Duration
+	srtt        time.Duration
+	rttvar      time.Duration
+	rttSeq      uint32 // sequence being timed
+	rttStart    time.Duration
+	rttTiming   bool
+	dupAcks     int
+
+	// Receive side.
+	rcvISS    uint32
+	rcvNxt    uint32
+	rcvBuf    []byte
+	oooSegs   []Segment // out-of-order segments awaiting the gap fill
+	peerFin   bool
+	finRcvSeq uint32
+
+	// advertised is the receive window in the most recent outgoing
+	// segment, for window-update suppression.
+	advertised uint32
+
+	// Output queue drained by Poll.
+	out []Segment
+
+	// Stats.
+	Retransmits     uint64
+	FastRetransmits uint64
+	BytesSent       uint64
+	BytesRcvd       uint64
+}
+
+// Segment flag bits.
+const (
+	FlagSYN = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// Segment is one protocol datagram.
+type Segment struct {
+	Flags   uint8
+	Seq     uint32
+	Ack     uint32
+	Window  uint32
+	Payload []byte
+}
+
+// HeaderSize is the marshaled segment header length in bytes.
+const HeaderSize = 14
+
+// Marshal encodes the segment.
+func (s Segment) Marshal() []byte {
+	b := make([]byte, HeaderSize+len(s.Payload))
+	b[0] = s.Flags
+	b[1] = 0
+	be32(b[2:], s.Seq)
+	be32(b[6:], s.Ack)
+	be32(b[10:], s.Window)
+	copy(b[HeaderSize:], s.Payload)
+	return b
+}
+
+// ParseSegment decodes a segment; it errors on short input.
+func ParseSegment(b []byte) (Segment, error) {
+	if len(b) < HeaderSize {
+		return Segment{}, errors.New("stream: short segment")
+	}
+	return Segment{
+		Flags:   b[0],
+		Seq:     rd32(b[2:]),
+		Ack:     rd32(b[6:]),
+		Window:  rd32(b[10:]),
+		Payload: b[HeaderSize:],
+	}, nil
+}
+
+func be32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+func rd32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// seqLT reports a < b in sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLE reports a <= b in sequence space.
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// New creates a closed connection with the given config and initial send
+// sequence (drivers pick it from their RNG for determinism).
+func New(cfg Config, iss uint32) *Conn {
+	cfg.fill()
+	return &Conn{
+		cfg:      cfg,
+		state:    StateClosed,
+		sndISS:   iss,
+		sndUna:   iss,
+		sndNxt:   iss,
+		peerWnd:  uint32(cfg.Window),
+		rto:      cfg.InitialRTO,
+		cwnd:     10 * cfg.MSS, // RFC 6928 initial window
+		ssthresh: cfg.Window,
+	}
+}
+
+// Cwnd reports the current congestion window in bytes.
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Open performs an active open: the SYN is queued for Poll.
+func (c *Conn) Open(now time.Duration) {
+	if c.state != StateClosed {
+		return
+	}
+	c.state = StateSynSent
+	c.emit(Segment{Flags: FlagSYN, Seq: c.sndNxt, Window: uint32(c.cfg.Window)})
+	c.sndNxt++ // SYN consumes one sequence number
+	c.armRTO(now)
+}
+
+// Established reports whether the handshake completed.
+func (c *Conn) Established() bool {
+	return c.state == StateEstablished || c.state == StateFinWait1 ||
+		c.state == StateFinWait2 || c.state == StateCloseWait || c.state == StateLastAck
+}
+
+// Readable reports whether Read would make progress (data buffered or EOF
+// or reset pending).
+func (c *Conn) Readable() bool {
+	return len(c.rcvBuf) > 0 || (c.peerFin && c.rcvNxt == c.finRcvSeq+1) || c.state == StateReset
+}
+
+// Writable reports whether Write can accept at least one byte.
+func (c *Conn) Writable() bool {
+	if c.state == StateReset || c.finQueued {
+		return false
+	}
+	return len(c.sndBuf) < c.cfg.SendBuf
+}
+
+// Write appends data to the send buffer, returning how much was accepted.
+func (c *Conn) Write(b []byte) (int, error) {
+	switch {
+	case c.state == StateReset:
+		return 0, ErrReset
+	case c.finQueued || c.state == StateClosed:
+		return 0, ErrClosed
+	}
+	space := c.cfg.SendBuf - len(c.sndBuf)
+	if space <= 0 {
+		return 0, nil
+	}
+	if len(b) > space {
+		b = b[:space]
+	}
+	c.sndBuf = append(c.sndBuf, b...)
+	return len(b), nil
+}
+
+// Read consumes buffered received data. When the peer has closed and all
+// data is drained it returns ErrEOF.
+func (c *Conn) Read(b []byte) (int, error) {
+	if len(c.rcvBuf) == 0 {
+		if c.state == StateReset {
+			return 0, ErrReset
+		}
+		if c.peerFin && c.rcvNxt == c.finRcvSeq+1 {
+			return 0, ErrEOF
+		}
+		return 0, nil
+	}
+	n := copy(b, c.rcvBuf)
+	c.rcvBuf = c.rcvBuf[n:]
+	return n, nil
+}
+
+// Buffered reports bytes available to Read.
+func (c *Conn) Buffered() int { return len(c.rcvBuf) }
+
+// Unacked reports bytes written but not yet acknowledged.
+func (c *Conn) Unacked() int { return len(c.sndBuf) }
+
+// Close initiates an orderly shutdown. Buffered data is still delivered;
+// the FIN goes out after the send buffer drains.
+func (c *Conn) Close() {
+	switch c.state {
+	case StateClosed, StateReset, StateFinWait1, StateFinWait2, StateLastAck:
+		return
+	}
+	c.finQueued = true
+}
+
+// Abort sends RST and drops all state.
+func (c *Conn) Abort() {
+	if c.state == StateClosed || c.state == StateReset {
+		return
+	}
+	c.emit(Segment{Flags: FlagRST, Seq: c.sndNxt})
+	c.state = StateReset
+	c.rtoDeadline = 0
+}
+
+func (c *Conn) emit(seg Segment) {
+	seg.Window = c.rcvWindow()
+	c.advertised = seg.Window
+	c.out = append(c.out, seg)
+}
+
+// MaybeWindowUpdate queues a pure ACK re-advertising the receive window
+// when it has reopened substantially since the last advertisement (the
+// classic zero-window-update problem: a sender stalled on a full window
+// gets no further segments to ACK). Drivers call this after draining
+// reads; it reports whether an update was queued (pump afterwards).
+func (c *Conn) MaybeWindowUpdate() bool {
+	if !c.Established() {
+		return false
+	}
+	w := c.rcvWindow()
+	if w <= c.advertised || int(w-c.advertised) < c.cfg.Window/4 {
+		return false
+	}
+	c.emit(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+	return true
+}
+
+func (c *Conn) rcvWindow() uint32 {
+	w := c.cfg.Window - len(c.rcvBuf)
+	if w < 0 {
+		w = 0
+	}
+	return uint32(w)
+}
+
+func (c *Conn) armRTO(now time.Duration) {
+	c.rtoDeadline = now + c.rto
+}
+
+// inFlight reports unacknowledged bytes on the wire.
+func (c *Conn) inFlight() uint32 { return c.sndNxt - c.sndUna }
+
+// sendWindowRemaining returns how many new payload bytes may be sent:
+// the minimum of the peer's advertised window, the configured window and
+// the congestion window, less bytes in flight.
+func (c *Conn) sendWindowRemaining() int {
+	wnd := c.peerWnd
+	if wnd > uint32(c.cfg.Window) {
+		wnd = uint32(c.cfg.Window)
+	}
+	if uint32(c.cwnd) < wnd {
+		wnd = uint32(c.cwnd)
+	}
+	fl := c.inFlight()
+	// Exclude the unacked SYN/FIN sequence slots from payload accounting.
+	if fl >= wnd {
+		return 0
+	}
+	return int(wnd - fl)
+}
+
+// OnSegment processes an inbound segment at time now.
+func (c *Conn) OnSegment(seg Segment, now time.Duration) {
+	if seg.Flags&FlagRST != 0 {
+		if c.state != StateClosed {
+			c.state = StateReset
+			c.rtoDeadline = 0
+		}
+		return
+	}
+	switch c.state {
+	case StateClosed:
+		// Passive open.
+		if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+			c.rcvISS = seg.Seq
+			c.rcvNxt = seg.Seq + 1
+			c.peerWnd = seg.Window
+			c.state = StateSynRcvd
+			c.emit(Segment{Flags: FlagSYN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+			c.sndNxt++
+			c.armRTO(now)
+		}
+		return
+	case StateSynSent:
+		if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK != 0 && seg.Ack == c.sndNxt {
+			c.rcvISS = seg.Seq
+			c.rcvNxt = seg.Seq + 1
+			c.peerWnd = seg.Window
+			c.sndUna = seg.Ack
+			c.state = StateEstablished
+			c.rtoDeadline = 0
+			c.retries = 0
+			c.emit(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+		}
+		return
+	case StateSynRcvd:
+		if seg.Flags&FlagACK != 0 && seg.Ack == c.sndNxt {
+			c.sndUna = seg.Ack
+			c.peerWnd = seg.Window
+			c.state = StateEstablished
+			c.rtoDeadline = 0
+			c.retries = 0
+		}
+		// A SYN retransmit: re-ack.
+		if seg.Flags&FlagSYN != 0 && c.state == StateSynRcvd {
+			c.emit(Segment{Flags: FlagSYN | FlagACK, Seq: c.sndNxt - 1, Ack: c.rcvNxt})
+			c.armRTO(now)
+			return
+		}
+		if c.state != StateEstablished {
+			return
+		}
+		// Fall through to established processing for piggybacked data.
+	}
+
+	// ACK processing.
+	if seg.Flags&FlagACK != 0 {
+		c.processAck(seg, now)
+	}
+	// Payload processing.
+	if len(seg.Payload) > 0 {
+		c.processPayload(seg)
+	}
+	// FIN processing.
+	if seg.Flags&FlagFIN != 0 {
+		finSeq := seg.Seq + uint32(len(seg.Payload))
+		if !c.peerFin {
+			c.peerFin = true
+			c.finRcvSeq = finSeq
+		}
+		if c.rcvNxt == finSeq {
+			c.rcvNxt = finSeq + 1
+			switch c.state {
+			case StateEstablished:
+				c.state = StateCloseWait
+			case StateFinWait1:
+				// Simultaneous close; treat as FIN-WAIT-2 + FIN.
+				c.state = StateFinWait2
+			case StateFinWait2:
+			}
+			if c.state == StateFinWait2 {
+				c.state = StateClosed
+				c.rtoDeadline = 0
+			}
+		}
+		c.emit(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+	}
+}
+
+func (c *Conn) processAck(seg Segment, now time.Duration) {
+	c.peerWnd = seg.Window
+	if seqLT(c.sndUna, seg.Ack) && seqLE(seg.Ack, c.sndNxt) {
+		acked := seg.Ack - c.sndUna
+		// Congestion window growth: exponential below ssthresh (slow
+		// start), ~one MSS per RTT above it (congestion avoidance).
+		if c.cwnd < c.ssthresh {
+			c.cwnd += int(acked)
+			if c.cwnd > c.ssthresh {
+				c.cwnd = c.ssthresh
+			}
+		} else {
+			c.cwnd += c.cfg.MSS * c.cfg.MSS / c.cwnd
+		}
+		if c.cwnd > c.cfg.SendBuf {
+			c.cwnd = c.cfg.SendBuf
+		}
+		// The FIN consumes one sequence slot with no buffer byte.
+		bufAck := acked
+		if c.finSent && seg.Ack == c.finSeq+1 {
+			bufAck--
+		}
+		if int(bufAck) > len(c.sndBuf) {
+			bufAck = uint32(len(c.sndBuf))
+		}
+		c.sndBuf = c.sndBuf[bufAck:]
+		c.sndUna = seg.Ack
+		c.retries = 0
+		c.dupAcks = 0
+		// RTT sample if the timed sequence is covered.
+		if c.rttTiming && seqLT(c.rttSeq, seg.Ack) {
+			c.rttTiming = false
+			c.updateRTT(now - c.rttStart)
+		}
+		if c.sndUna == c.sndNxt {
+			c.rtoDeadline = 0 // all data acked
+		} else {
+			c.armRTO(now)
+		}
+		// FIN fully acked?
+		if c.finSent && seg.Ack == c.finSeq+1 {
+			switch c.state {
+			case StateFinWait1:
+				c.state = StateFinWait2
+				if c.peerFin && c.rcvNxt == c.finRcvSeq+1 {
+					c.state = StateClosed
+					c.rtoDeadline = 0
+				}
+			case StateLastAck:
+				c.state = StateClosed
+				c.rtoDeadline = 0
+			}
+		}
+	} else if seg.Ack == c.sndUna && c.inFlight() > 0 && len(seg.Payload) == 0 {
+		c.dupAcks++
+		if c.dupAcks == 3 {
+			c.FastRetransmits++
+			// Multiplicative decrease (fast recovery, simplified).
+			c.ssthresh = int(c.inFlight()) / 2
+			if c.ssthresh < 2*c.cfg.MSS {
+				c.ssthresh = 2 * c.cfg.MSS
+			}
+			c.cwnd = c.ssthresh
+			c.retransmit(now)
+		}
+	}
+}
+
+func (c *Conn) processPayload(seg Segment) {
+	end := seg.Seq + uint32(len(seg.Payload))
+	switch {
+	case seqLE(end, c.rcvNxt):
+		// Entirely old: re-ack.
+		c.emit(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+		return
+	case seqLT(c.rcvNxt, seg.Seq):
+		// Future data: buffer out of order (bounded) and dup-ack.
+		if len(c.oooSegs) < 256 {
+			cp := seg
+			cp.Payload = append([]byte(nil), seg.Payload...)
+			c.oooSegs = append(c.oooSegs, cp)
+		}
+		c.emit(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+		return
+	}
+	// Overlapping or exact: take the new part.
+	skip := c.rcvNxt - seg.Seq
+	data := seg.Payload[skip:]
+	room := c.cfg.Window - len(c.rcvBuf)
+	if len(data) > room {
+		data = data[:room]
+	}
+	c.rcvBuf = append(c.rcvBuf, data...)
+	c.rcvNxt += uint32(len(data))
+	c.BytesRcvd += uint64(len(data))
+	// Drain any out-of-order segments that are now contiguous.
+	progress := true
+	for progress {
+		progress = false
+		for i := 0; i < len(c.oooSegs); i++ {
+			o := c.oooSegs[i]
+			oEnd := o.Seq + uint32(len(o.Payload))
+			if seqLE(oEnd, c.rcvNxt) {
+				c.oooSegs = append(c.oooSegs[:i], c.oooSegs[i+1:]...)
+				progress = true
+				break
+			}
+			if seqLE(o.Seq, c.rcvNxt) && seqLT(c.rcvNxt, oEnd) {
+				d := o.Payload[c.rcvNxt-o.Seq:]
+				room := c.cfg.Window - len(c.rcvBuf)
+				if len(d) > room {
+					d = d[:room]
+				}
+				c.rcvBuf = append(c.rcvBuf, d...)
+				c.rcvNxt += uint32(len(d))
+				c.BytesRcvd += uint64(len(d))
+				c.oooSegs = append(c.oooSegs[:i], c.oooSegs[i+1:]...)
+				progress = true
+				break
+			}
+		}
+	}
+	c.emit(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+}
+
+func (c *Conn) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		d := c.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < MinRTO {
+		c.rto = MinRTO
+	}
+	if c.rto > MaxRTO {
+		c.rto = MaxRTO
+	}
+}
+
+// SRTT returns the smoothed RTT estimate (zero before the first sample).
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// OnTimer must be called by the driver when the deadline from Poll expires.
+func (c *Conn) OnTimer(now time.Duration) {
+	if c.rtoDeadline == 0 || now < c.rtoDeadline {
+		return
+	}
+	c.retries++
+	if c.retries > maxRetries {
+		c.state = StateReset
+		c.rtoDeadline = 0
+		return
+	}
+	c.rto *= 2
+	if c.rto > MaxRTO {
+		c.rto = MaxRTO
+	}
+	c.rttTiming = false
+	// Timeout: collapse to one segment and halve the threshold.
+	c.ssthresh = int(c.inFlight()) / 2
+	if c.ssthresh < 2*c.cfg.MSS {
+		c.ssthresh = 2 * c.cfg.MSS
+	}
+	c.cwnd = c.cfg.MSS
+	switch c.state {
+	case StateSynSent:
+		c.emit(Segment{Flags: FlagSYN, Seq: c.sndISS, Window: uint32(c.cfg.Window)})
+		c.armRTO(now)
+	case StateSynRcvd:
+		c.emit(Segment{Flags: FlagSYN | FlagACK, Seq: c.sndNxt - 1, Ack: c.rcvNxt})
+		c.armRTO(now)
+	default:
+		c.Retransmits++
+		c.retransmit(now)
+	}
+}
+
+// retransmit resends the earliest unacknowledged segment.
+func (c *Conn) retransmit(now time.Duration) {
+	if c.finSent && c.sndUna == c.finSeq {
+		c.emit(Segment{Flags: FlagFIN | FlagACK, Seq: c.finSeq, Ack: c.rcvNxt})
+		c.armRTO(now)
+		return
+	}
+	n := len(c.sndBuf)
+	if n == 0 {
+		return
+	}
+	if n > c.cfg.MSS {
+		n = c.cfg.MSS
+	}
+	unsentStart := int(c.sndNxt - c.sndUna)
+	if c.finSent {
+		unsentStart-- // FIN slot is not in sndBuf
+	}
+	if n > unsentStart {
+		n = unsentStart
+	}
+	if n <= 0 {
+		return
+	}
+	payload := append([]byte(nil), c.sndBuf[:n]...)
+	c.emit(Segment{Flags: FlagACK, Seq: c.sndUna, Ack: c.rcvNxt, Payload: payload})
+	c.armRTO(now)
+}
+
+// Poll drains pending output: it first packetizes new send-buffer data
+// permitted by the window, then returns queued segments and the next timer
+// deadline (zero when no timer is armed).
+func (c *Conn) Poll(now time.Duration) ([]Segment, time.Duration) {
+	if c.Established() && c.state != StateLastAck {
+		c.packetize(now)
+	}
+	out := c.out
+	c.out = nil
+	return out, c.rtoDeadline
+}
+
+func (c *Conn) packetize(now time.Duration) {
+	for {
+		unsentStart := int(c.sndNxt - c.sndUna)
+		if c.finSent {
+			break
+		}
+		avail := len(c.sndBuf) - unsentStart
+		if avail <= 0 {
+			break
+		}
+		wnd := c.sendWindowRemaining()
+		if wnd <= 0 {
+			break
+		}
+		n := avail
+		if n > c.cfg.MSS {
+			n = c.cfg.MSS
+		}
+		if n > wnd {
+			n = wnd
+		}
+		payload := append([]byte(nil), c.sndBuf[unsentStart:unsentStart+n]...)
+		seg := Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Payload: payload}
+		if !c.rttTiming {
+			c.rttTiming = true
+			c.rttSeq = c.sndNxt
+			c.rttStart = now
+		}
+		c.sndNxt += uint32(n)
+		c.BytesSent += uint64(n)
+		c.emit(seg)
+		if c.rtoDeadline == 0 {
+			c.armRTO(now)
+		}
+	}
+	// Send FIN once the buffer is fully packetized.
+	if c.finQueued && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sndBuf) {
+		c.finSent = true
+		c.finSeq = c.sndNxt
+		c.emit(Segment{Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+		c.sndNxt++
+		switch c.state {
+		case StateEstablished:
+			c.state = StateFinWait1
+		case StateCloseWait:
+			c.state = StateLastAck
+		}
+		c.armRTO(now)
+	}
+}

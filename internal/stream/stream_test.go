@@ -1,0 +1,438 @@
+package stream
+
+import (
+	"bytes"
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// wireEvent is a scheduled delivery or timer check in the test harness.
+type wireEvent struct {
+	at  time.Duration
+	seq int
+	fn  func(now time.Duration)
+}
+
+type wireHeap []wireEvent
+
+func (h wireHeap) Len() int { return len(h) }
+func (h wireHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wireHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wireHeap) Push(x interface{}) { *h = append(*h, x.(wireEvent)) }
+func (h *wireHeap) Pop() interface{} {
+	old := *h
+	ev := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return ev
+}
+
+// harness runs two sans-io conns over a simulated wire.
+type harness struct {
+	a, b    *Conn
+	now     time.Duration
+	events  wireHeap
+	seq     int
+	latency time.Duration
+	loss    float64
+	reorder time.Duration // random extra delay up to this
+	rng     *rand.Rand
+}
+
+func newHarness(latency time.Duration, loss float64) *harness {
+	h := &harness{
+		a:       New(Config{}, 1000),
+		b:       New(Config{}, 5000),
+		latency: latency,
+		loss:    loss,
+		rng:     rand.New(rand.NewSource(7)),
+	}
+	return h
+}
+
+func (h *harness) at(d time.Duration, fn func(now time.Duration)) {
+	h.seq++
+	heap.Push(&h.events, wireEvent{at: h.now + d, seq: h.seq, fn: fn})
+}
+
+// pump flushes output of both conns onto the wire and rearms timers.
+func (h *harness) pump() {
+	for _, pair := range []struct{ from, to *Conn }{{h.a, h.b}, {h.b, h.a}} {
+		from, to := pair.from, pair.to
+		segs, deadline := from.Poll(h.now)
+		for _, seg := range segs {
+			if h.rng.Float64() < h.loss {
+				continue
+			}
+			d := h.latency
+			if h.reorder > 0 {
+				d += time.Duration(h.rng.Int63n(int64(h.reorder)))
+			}
+			seg := seg
+			h.at(d, func(now time.Duration) {
+				to.OnSegment(seg, now)
+				h.pump()
+			})
+		}
+		if deadline > 0 {
+			conn := from
+			h.at(deadline-h.now, func(now time.Duration) {
+				conn.OnTimer(now)
+				h.pump()
+			})
+		}
+	}
+}
+
+// run processes events until quiescent or the horizon passes.
+func (h *harness) run(horizon time.Duration) {
+	for len(h.events) > 0 {
+		ev := heap.Pop(&h.events).(wireEvent)
+		if ev.at > horizon {
+			h.now = horizon
+			return
+		}
+		h.now = ev.at
+		ev.fn(h.now)
+	}
+}
+
+func (h *harness) connect(t *testing.T) {
+	t.Helper()
+	h.a.Open(h.now)
+	h.pump()
+	h.run(10 * time.Second)
+	if !h.a.Established() || !h.b.Established() {
+		t.Fatalf("handshake failed: a=%v b=%v", h.a.State(), h.b.State())
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	h := newHarness(time.Millisecond, 0)
+	h.connect(t)
+	if h.a.State() != StateEstablished || h.b.State() != StateEstablished {
+		t.Fatalf("states a=%v b=%v", h.a.State(), h.b.State())
+	}
+}
+
+// transfer writes data on from, reads on to (draining as it goes), and
+// returns what arrived.
+func (h *harness) transfer(t *testing.T, from, to *Conn, data []byte, horizon time.Duration) []byte {
+	if t != nil {
+		t.Helper()
+	}
+	var got []byte
+	written := 0
+	buf := make([]byte, 4096)
+	step := func() {
+		for {
+			n, _ := to.Read(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if written < len(data) {
+			n, err := from.Write(data[written:])
+			if err != nil {
+				if t != nil {
+					t.Fatalf("write: %v", err)
+				}
+				return
+			}
+			written += n
+		}
+	}
+	// Drive: re-run step whenever the wire quiesces, up to horizon.
+	deadline := h.now + horizon
+	for h.now < deadline {
+		step()
+		h.pump()
+		if len(h.events) == 0 {
+			step()
+			h.pump()
+			if len(h.events) == 0 {
+				break
+			}
+		}
+		ev := heap.Pop(&h.events).(wireEvent)
+		h.now = ev.at
+		ev.fn(h.now)
+	}
+	step()
+	return got
+}
+
+func TestBulkTransfer(t *testing.T) {
+	h := newHarness(time.Millisecond, 0)
+	h.connect(t)
+	data := make([]byte, 500_000)
+	rand.New(rand.NewSource(3)).Read(data)
+	got := h.transfer(t, h.a, h.b, data, time.Minute)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transfer mismatch: got %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestTransferUnderLoss(t *testing.T) {
+	h := newHarness(2*time.Millisecond, 0.05)
+	h.connect(t)
+	data := make([]byte, 200_000)
+	rand.New(rand.NewSource(4)).Read(data)
+	got := h.transfer(t, h.a, h.b, data, 5*time.Minute)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("lossy transfer mismatch: got %d bytes, want %d", len(got), len(data))
+	}
+	if h.a.Retransmits == 0 && h.a.FastRetransmits == 0 {
+		t.Fatal("expected retransmissions under 5% loss")
+	}
+}
+
+func TestTransferWithReordering(t *testing.T) {
+	h := newHarness(time.Millisecond, 0)
+	h.reorder = 3 * time.Millisecond
+	h.connect(t)
+	data := make([]byte, 100_000)
+	rand.New(rand.NewSource(5)).Read(data)
+	got := h.transfer(t, h.a, h.b, data, time.Minute)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("reordered transfer mismatch: got %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	h := newHarness(time.Millisecond, 0)
+	h.connect(t)
+	dataAB := bytes.Repeat([]byte("ab"), 20_000)
+	dataBA := bytes.Repeat([]byte("ba"), 20_000)
+	h.a.Write(dataAB)
+	h.b.Write(dataBA)
+	var gotB, gotA []byte
+	buf := make([]byte, 4096)
+	h.pump()
+	for i := 0; i < 200_000 && len(h.events) > 0; i++ {
+		ev := heap.Pop(&h.events).(wireEvent)
+		h.now = ev.at
+		ev.fn(h.now)
+		for {
+			n, _ := h.b.Read(buf)
+			if n == 0 {
+				break
+			}
+			gotB = append(gotB, buf[:n]...)
+		}
+		for {
+			n, _ := h.a.Read(buf)
+			if n == 0 {
+				break
+			}
+			gotA = append(gotA, buf[:n]...)
+		}
+		h.pump()
+	}
+	if !bytes.Equal(gotB, dataAB) || !bytes.Equal(gotA, dataBA) {
+		t.Fatalf("bidirectional mismatch: b got %d/%d, a got %d/%d",
+			len(gotB), len(dataAB), len(gotA), len(dataBA))
+	}
+}
+
+func TestCloseDeliversEOF(t *testing.T) {
+	h := newHarness(time.Millisecond, 0)
+	h.connect(t)
+	h.a.Write([]byte("final words"))
+	h.a.Close()
+	h.pump()
+	h.run(10 * time.Second)
+	buf := make([]byte, 64)
+	n, err := h.b.Read(buf)
+	if err != nil || string(buf[:n]) != "final words" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+	if _, err := h.b.Read(buf); err != ErrEOF {
+		t.Fatalf("err = %v, want ErrEOF", err)
+	}
+	// Close the other side too; both should reach Closed.
+	h.b.Close()
+	h.pump()
+	h.run(20 * time.Second)
+	if h.a.State() != StateClosed || h.b.State() != StateClosed {
+		t.Fatalf("states after close: a=%v b=%v", h.a.State(), h.b.State())
+	}
+}
+
+func TestAbortResetsPeer(t *testing.T) {
+	h := newHarness(time.Millisecond, 0)
+	h.connect(t)
+	h.a.Abort()
+	h.pump()
+	h.run(time.Second)
+	if h.b.State() != StateReset {
+		t.Fatalf("peer state = %v, want reset", h.b.State())
+	}
+	if _, err := h.b.Read(make([]byte, 1)); err != ErrReset {
+		t.Fatalf("read err = %v, want ErrReset", err)
+	}
+	if _, err := h.b.Write([]byte("x")); err != ErrReset {
+		t.Fatalf("write err = %v, want ErrReset", err)
+	}
+}
+
+func TestWindowLimitsInFlight(t *testing.T) {
+	cfgSmall := Config{Window: 4096, MSS: 1024}
+	a := New(cfgSmall, 1)
+	b := New(cfgSmall, 2)
+	h := &harness{a: a, b: b, latency: 50 * time.Millisecond, rng: rand.New(rand.NewSource(1))}
+	h.connect(t)
+	a.Write(make([]byte, 64*1024))
+	segs, _ := a.Poll(h.now)
+	var payload int
+	for _, s := range segs {
+		payload += len(s.Payload)
+	}
+	if payload > 4096 {
+		t.Fatalf("in flight %d bytes exceeds 4096 window", payload)
+	}
+}
+
+func TestSegmentMarshalRoundTrip(t *testing.T) {
+	in := Segment{Flags: FlagACK | FlagFIN, Seq: 0xdeadbeef, Ack: 0x01020304, Window: 87381, Payload: []byte("payload")}
+	out, err := ParseSegment(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Flags != in.Flags || out.Seq != in.Seq || out.Ack != in.Ack || out.Window != in.Window || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	if _, err := ParseSegment(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("short segment parsed")
+	}
+}
+
+func TestSeqCompareWraparound(t *testing.T) {
+	if !seqLT(0xfffffff0, 0x10) {
+		t.Fatal("seqLT should handle wraparound")
+	}
+	if seqLT(0x10, 0xfffffff0) {
+		t.Fatal("seqLT inverted at wraparound")
+	}
+	if !seqLE(5, 5) {
+		t.Fatal("seqLE should be reflexive")
+	}
+}
+
+func TestRTTEstimator(t *testing.T) {
+	c := New(Config{}, 0)
+	c.updateRTT(100 * time.Millisecond)
+	if c.srtt != 100*time.Millisecond {
+		t.Fatalf("first srtt = %v", c.srtt)
+	}
+	c.updateRTT(200 * time.Millisecond)
+	if c.srtt <= 100*time.Millisecond || c.srtt >= 200*time.Millisecond {
+		t.Fatalf("smoothed srtt = %v, want between samples", c.srtt)
+	}
+	if c.rto < MinRTO {
+		t.Fatalf("rto below floor: %v", c.rto)
+	}
+}
+
+func TestRetransmitAfterTotalBlackout(t *testing.T) {
+	h := newHarness(time.Millisecond, 1.0) // everything dropped
+	h.a.Open(h.now)
+	h.pump()
+	h.run(5 * time.Minute)
+	if h.a.State() != StateReset {
+		t.Fatalf("state = %v, want reset after max retries", h.a.State())
+	}
+	if h.a.retries <= 3 {
+		t.Fatalf("retries = %d, expected many", h.a.retries)
+	}
+}
+
+func TestTransferPropertyRandomSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		size := 1 + rng.Intn(60_000)
+		loss := float64(rng.Intn(8)) / 100
+		h := newHarness(time.Duration(1+rng.Intn(5))*time.Millisecond, loss)
+		h.connect(t)
+		data := make([]byte, size)
+		rng.Read(data)
+		got := h.transfer(t, h.a, h.b, data, 10*time.Minute)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d (size=%d loss=%.2f): mismatch got %d bytes", trial, size, loss, len(got))
+		}
+	}
+}
+
+func TestCongestionSlowStartGrowth(t *testing.T) {
+	h := newHarness(time.Millisecond, 0)
+	h.connect(t)
+	initial := h.a.Cwnd()
+	data := make([]byte, 200_000)
+	got := h.transfer(t, h.a, h.b, data, time.Minute)
+	if len(got) != len(data) {
+		t.Fatalf("transfer incomplete: %d", len(got))
+	}
+	if h.a.Cwnd() <= initial {
+		t.Fatalf("cwnd did not grow: %d -> %d", initial, h.a.Cwnd())
+	}
+}
+
+func TestCongestionBackoffOnLoss(t *testing.T) {
+	h := newHarness(2*time.Millisecond, 0)
+	h.connect(t)
+	// Grow the window with a clean transfer first.
+	h.transfer(t, h.a, h.b, make([]byte, 300_000), time.Minute)
+	grown := h.a.Cwnd()
+	// Then introduce loss: the window must come down.
+	h.loss = 0.08
+	h.transfer(t, h.a, h.b, make([]byte, 300_000), 5*time.Minute)
+	if h.a.Cwnd() >= grown {
+		t.Fatalf("cwnd did not back off under loss: %d -> %d", grown, h.a.Cwnd())
+	}
+	if h.a.Retransmits == 0 && h.a.FastRetransmits == 0 {
+		t.Fatal("no retransmissions recorded under loss")
+	}
+}
+
+func TestCongestionWindowBoundsInFlight(t *testing.T) {
+	a := New(Config{Window: 1 << 20, SendBuf: 1 << 20, MSS: 1000}, 1)
+	b := New(Config{Window: 1 << 20, SendBuf: 1 << 20, MSS: 1000}, 2)
+	h := &harness{a: a, b: b, latency: 50 * time.Millisecond, rng: rand.New(rand.NewSource(1))}
+	h.connect(t)
+	a.Write(make([]byte, 1<<20))
+	segs, _ := a.Poll(h.now)
+	var inflight int
+	for _, s := range segs {
+		inflight += len(s.Payload)
+	}
+	if inflight > a.Cwnd() {
+		t.Fatalf("in flight %d exceeds cwnd %d", inflight, a.Cwnd())
+	}
+}
+
+func BenchmarkSansIOTransfer(b *testing.B) {
+	// End-to-end sans-io throughput: how fast the harness can move bytes
+	// through two connected state machines (no real network).
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		h := &harness{a: New(Config{}, 1), b: New(Config{}, 2), latency: 100 * time.Microsecond, rng: rand.New(rand.NewSource(1))}
+		h.a.Open(h.now)
+		h.pump()
+		h.run(10 * time.Second)
+		if !h.a.Established() {
+			b.Fatal("handshake failed")
+		}
+		got := h.transfer(nil, h.a, h.b, data, time.Minute)
+		if len(got) != len(data) {
+			b.Fatalf("moved %d of %d", len(got), len(data))
+		}
+	}
+}

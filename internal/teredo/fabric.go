@@ -1,0 +1,61 @@
+package teredo
+
+import (
+	"net/netip"
+	"time"
+
+	"hipcloud/internal/netsim"
+)
+
+// innerTCP is the inner protocol number carrying plain stream segments
+// through the tunnel (the paper's "Teredo" iperf configuration: TCP over
+// Teredo, no HIP).
+const innerTCP netsim.Proto = 6
+
+// Fabric adapts a Teredo client to simtcp.Fabric: plain stream segments
+// tunneled in IPv6-over-UDP-over-IPv4. Peers are addressed by their
+// Teredo IPv6 addresses.
+type Fabric struct {
+	client *Client
+	// PerPacketCost models encapsulation/decapsulation CPU.
+	PerPacketCost time.Duration
+	deliver       func(peer netip.Addr, data []byte, cost time.Duration)
+}
+
+// NewFabric wraps a qualified (or qualifying) client.
+func NewFabric(c *Client) *Fabric {
+	f := &Fabric{client: c, PerPacketCost: 6 * time.Microsecond}
+	c.Tap(innerTCP, func(src netip.Addr, payload []byte) {
+		if f.deliver != nil {
+			f.deliver(src, payload, f.PerPacketCost)
+		}
+	})
+	return f
+}
+
+// Canonical is the identity: peers are Teredo addresses already.
+func (f *Fabric) Canonical(peer netip.Addr) (netip.Addr, error) {
+	if !IsTeredo(peer) {
+		return netip.Addr{}, ErrNotTeredo
+	}
+	return peer, nil
+}
+
+// Establish requires local qualification (run Qualify first).
+func (f *Fabric) Establish(p *netsim.Proc, peer netip.Addr) error {
+	if !f.client.Qualified() {
+		return ErrNotQualified
+	}
+	return nil
+}
+
+// Send tunnels one segment.
+func (f *Fabric) Send(peer netip.Addr, data []byte) (time.Duration, error) {
+	f.client.Send(innerTCP, peer, data)
+	return f.PerPacketCost, nil
+}
+
+// Attach installs the delivery callback (simtcp.Fabric).
+func (f *Fabric) Attach(deliver func(peer netip.Addr, data []byte, cost time.Duration)) {
+	f.deliver = deliver
+}

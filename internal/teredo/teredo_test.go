@@ -1,0 +1,289 @@
+package teredo
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hipcloud/internal/hip"
+	"hipcloud/internal/hipsim"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/simtcp"
+)
+
+func TestAddressRoundTrip(t *testing.T) {
+	srv := netip.MustParseAddr("198.51.100.1")
+	mapped := netip.AddrPortFrom(netip.MustParseAddr("203.0.113.7"), 41235)
+	a := MakeAddress(srv, mapped, true)
+	if !IsTeredo(a) {
+		t.Fatalf("address %v not in Teredo prefix", a)
+	}
+	gs, gm, cone, err := ParseAddress(a)
+	if err != nil || gs != srv || gm != mapped || !cone {
+		t.Fatalf("parse: %v %v %v %v", gs, gm, cone, err)
+	}
+	if _, _, _, err := ParseAddress(netip.MustParseAddr("2001:db8::1")); err != ErrNotTeredo {
+		t.Fatalf("non-teredo parse err = %v", err)
+	}
+}
+
+func TestAddressProperty(t *testing.T) {
+	f := func(s4, m4 [4]byte, port uint16, cone bool) bool {
+		srv := netip.AddrFrom4(s4)
+		mapped := netip.AddrPortFrom(netip.AddrFrom4(m4), port)
+		gs, gm, gc, err := ParseAddress(MakeAddress(srv, mapped, cone))
+		return err == nil && gs == srv && gm == mapped && gc == cone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// natWorld: two clients each behind its own NAT, one public Teredo server.
+type natWorld struct {
+	sim      *netsim.Sim
+	server   *Server
+	ca, cb   *Client
+	na, nb   *netsim.Node
+	internet *netsim.Node
+}
+
+func buildNATWorld(t *testing.T, natType netsim.NATType) *natWorld {
+	t.Helper()
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	inet := n.AddRouter("internet")
+	srvNode := n.AddNode("teredo-srv", 4, 4)
+	hostA := n.AddNode("hostA", 2, 1)
+	hostB := n.AddNode("hostB", 2, 1)
+	natA := n.AddNode("natA", 2, 10)
+	natB := n.AddNode("natB", 2, 10)
+
+	mustAddr := netip.MustParseAddr
+	n.Connect(hostA, mustAddr("192.168.1.2"), natA, mustAddr("192.168.1.1"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(hostB, mustAddr("192.168.2.2"), natB, mustAddr("192.168.2.1"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(natA, mustAddr("203.0.113.1"), inet, mustAddr("203.0.113.254"), netsim.Link{Latency: 8 * time.Millisecond})
+	n.Connect(natB, mustAddr("203.0.114.1"), inet, mustAddr("203.0.114.254"), netsim.Link{Latency: 8 * time.Millisecond})
+	n.Connect(srvNode, mustAddr("198.51.100.1"), inet, mustAddr("198.51.100.254"), netsim.Link{Latency: 5 * time.Millisecond})
+	hostA.AddDefaultRoute(mustAddr("192.168.1.1"))
+	hostB.AddDefaultRoute(mustAddr("192.168.2.1"))
+	natA.AddDefaultRoute(mustAddr("203.0.113.254"))
+	natB.AddDefaultRoute(mustAddr("203.0.114.254"))
+	srvNode.AddDefaultRoute(mustAddr("198.51.100.254"))
+	natA.EnableNAT(natType, mustAddr("192.168.1.1"))
+	natB.EnableNAT(natType, mustAddr("192.168.2.1"))
+
+	srv := NewServer(srvNode)
+	return &natWorld{
+		sim: s, server: srv,
+		ca: NewClient(hostA, srv.Addr()),
+		cb: NewClient(hostB, srv.Addr()),
+		na: hostA, nb: hostB, internet: inet,
+	}
+}
+
+func TestQualificationThroughNAT(t *testing.T) {
+	w := buildNATWorld(t, netsim.NATPortRestricted)
+	var errA, errB error
+	w.sim.Spawn("qa", func(p *netsim.Proc) { errA = w.ca.Qualify(p, 5*time.Second) })
+	w.sim.Spawn("qb", func(p *netsim.Proc) { errB = w.cb.Qualify(p, 5*time.Second) })
+	w.sim.Run(10 * time.Second)
+	w.sim.Shutdown()
+	if errA != nil || errB != nil {
+		t.Fatalf("qualify: %v %v", errA, errB)
+	}
+	if !IsTeredo(w.ca.Addr()) || !IsTeredo(w.cb.Addr()) {
+		t.Fatalf("addresses: %v %v", w.ca.Addr(), w.cb.Addr())
+	}
+	// The embedded mapped address must be the NAT's public address.
+	_, mapped, _, _ := ParseAddress(w.ca.Addr())
+	if mapped.Addr() != netip.MustParseAddr("203.0.113.1") {
+		t.Fatalf("mapped addr %v, want NAT external", mapped)
+	}
+}
+
+func TestTunneledDataThroughServer(t *testing.T) {
+	w := buildNATWorld(t, netsim.NATPortRestricted)
+	var got []byte
+	w.sim.Spawn("run", func(p *netsim.Proc) {
+		if err := w.ca.Qualify(p, 5*time.Second); err != nil {
+			t.Errorf("qualify a: %v", err)
+			return
+		}
+		if err := w.cb.Qualify(p, 5*time.Second); err != nil {
+			t.Errorf("qualify b: %v", err)
+			return
+		}
+		w.cb.Tap(netsim.ProtoUDP, func(src netip.Addr, payload []byte) {
+			got = append([]byte(nil), payload...)
+		})
+		w.ca.Send(netsim.ProtoUDP, w.cb.Addr(), []byte("via teredo"))
+	})
+	w.sim.Run(30 * time.Second)
+	w.sim.Shutdown()
+	if string(got) != "via teredo" {
+		t.Fatalf("got %q", got)
+	}
+	if w.server.Relayed == 0 {
+		t.Fatal("server relayed nothing (expected triangular routing)")
+	}
+}
+
+func TestPingOverTeredoWorseThanDirect(t *testing.T) {
+	w := buildNATWorld(t, netsim.NATPortRestricted)
+	w.cb.EchoService()
+	var teredoRTT time.Duration
+	var err error
+	w.sim.Spawn("run", func(p *netsim.Proc) {
+		if err = w.ca.Qualify(p, 5*time.Second); err != nil {
+			return
+		}
+		if err = w.cb.Qualify(p, 5*time.Second); err != nil {
+			return
+		}
+		teredoRTT, err = w.ca.Ping(p, w.cb.Addr(), 64, 10*time.Second)
+	})
+	w.sim.Run(time.Minute)
+	w.sim.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct path A->B is ~2*(1+8+8+1)=36ms RTT; via server adds two legs
+	// to the server (~2*(5+8)=26ms extra), so expect >50ms.
+	if teredoRTT < 50*time.Millisecond {
+		t.Fatalf("teredo rtt = %v, expected relay penalty", teredoRTT)
+	}
+}
+
+func TestDirectPathAfterBubbles(t *testing.T) {
+	w := buildNATWorld(t, netsim.NATFullCone)
+	w.ca.DirectPath = true
+	w.cb.DirectPath = true
+	w.cb.EchoService()
+	var first, second time.Duration
+	w.sim.Spawn("run", func(p *netsim.Proc) {
+		if err := w.ca.Qualify(p, 5*time.Second); err != nil {
+			return
+		}
+		if err := w.cb.Qualify(p, 5*time.Second); err != nil {
+			return
+		}
+		first, _ = w.ca.Ping(p, w.cb.Addr(), 64, 10*time.Second)
+		p.Sleep(time.Second) // bubbles settle
+		second, _ = w.ca.Ping(p, w.cb.Addr(), 64, 10*time.Second)
+	})
+	w.sim.Run(time.Minute)
+	w.sim.Shutdown()
+	if first == 0 || second == 0 {
+		t.Fatalf("pings failed: %v %v", first, second)
+	}
+	if second >= first {
+		t.Fatalf("direct path (%v) not faster than relayed (%v)", second, first)
+	}
+}
+
+func TestPlainStreamOverTeredoFabric(t *testing.T) {
+	w := buildNATWorld(t, netsim.NATPortRestricted)
+	var sa, sb *simtcp.Stack
+	var got []byte
+	w.sim.Spawn("setup", func(p *netsim.Proc) {
+		if err := w.ca.Qualify(p, 5*time.Second); err != nil {
+			t.Errorf("qualify: %v", err)
+			return
+		}
+		if err := w.cb.Qualify(p, 5*time.Second); err != nil {
+			t.Errorf("qualify: %v", err)
+			return
+		}
+		sa = simtcp.NewStack(w.na, NewFabric(w.ca))
+		sb = simtcp.NewStack(w.nb, NewFabric(w.cb))
+		l := sb.MustListen(80)
+		p.Spawn("server", func(sp *netsim.Proc) {
+			c, err := l.Accept(sp, 0)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 128)
+			n, _ := c.Read(sp, buf)
+			c.Write(sp, buf[:n])
+			c.Close()
+		})
+		p.Spawn("client", func(cp *netsim.Proc) {
+			c, err := sa.Dial(cp, w.cb.Addr(), 80, 30*time.Second)
+			if err != nil {
+				t.Errorf("dial over teredo: %v", err)
+				return
+			}
+			c.Write(cp, []byte("tcp in teredo"))
+			buf := make([]byte, 128)
+			n, err := c.Read(cp, buf)
+			if err == nil {
+				got = buf[:n]
+			}
+			c.Close()
+		})
+	})
+	w.sim.Run(2 * time.Minute)
+	w.sim.Shutdown()
+	if string(got) != "tcp in teredo" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestHIPOverTeredo(t *testing.T) {
+	w := buildNATWorld(t, netsim.NATPortRestricted)
+	idA := identity.MustGenerate(identity.AlgECDSA)
+	idB := identity.MustGenerate(identity.AlgECDSA)
+	reg := hipsim.NewRegistry()
+	var got []byte
+	w.sim.Spawn("setup", func(p *netsim.Proc) {
+		if err := w.ca.Qualify(p, 5*time.Second); err != nil {
+			t.Errorf("qualify: %v", err)
+			return
+		}
+		if err := w.cb.Qualify(p, 5*time.Second); err != nil {
+			t.Errorf("qualify: %v", err)
+			return
+		}
+		ha, _ := hip.NewHost(hip.Config{Identity: idA, Locator: w.ca.Addr()})
+		hb, _ := hip.NewHost(hip.Config{Identity: idB, Locator: w.cb.Addr()})
+		fa := hipsim.NewWithUnderlay(w.na, ha, reg, w.ca)
+		fb := hipsim.NewWithUnderlay(w.nb, hb, reg, w.cb)
+		sa := simtcp.NewStack(w.na, fa)
+		sb := simtcp.NewStack(w.nb, fb)
+		l := sb.MustListen(22)
+		p.Spawn("server", func(sp *netsim.Proc) {
+			c, err := l.Accept(sp, 0)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 128)
+			n, _ := c.Read(sp, buf)
+			c.Write(sp, buf[:n])
+			c.Close()
+		})
+		p.Spawn("client", func(cp *netsim.Proc) {
+			c, err := sa.Dial(cp, idB.HIT(), 22, 30*time.Second)
+			if err != nil {
+				t.Errorf("HIP-over-Teredo dial: %v", err)
+				return
+			}
+			msg := []byte("ssh over hip over teredo")
+			c.Write(cp, msg)
+			buf := make([]byte, 128)
+			n, err := c.Read(cp, buf)
+			if err == nil && bytes.Equal(buf[:n], msg) {
+				got = buf[:n]
+			}
+			c.Close()
+		})
+	})
+	w.sim.Run(2 * time.Minute)
+	w.sim.Shutdown()
+	if len(got) == 0 {
+		t.Fatal("HIP over Teredo round trip failed")
+	}
+}

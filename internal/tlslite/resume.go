@@ -1,0 +1,158 @@
+package tlslite
+
+import (
+	"crypto/hmac"
+	"io"
+	"sync"
+)
+
+// Session resumption: the server hands the client an opaque ticket after
+// a full handshake; presenting it later skips the signature and
+// Diffie-Hellman exchange entirely — fresh randoms are mixed with the
+// cached master secret instead (the amortization that makes per-request
+// SSL connections affordable, and the reason the paper's HIP-vs-SSL
+// comparison is dominated by data-plane costs).
+
+// ServerSessions is the server-side resumption store, shared across
+// connections of one server.
+type ServerSessions struct {
+	mu sync.Mutex
+	m  map[string][]byte // ticket -> master secret
+	// Cap bounds stored sessions (FIFO-ish eviction; default 4096).
+	Cap int
+}
+
+// NewServerSessions creates an empty store.
+func NewServerSessions() *ServerSessions {
+	return &ServerSessions{m: make(map[string][]byte), Cap: 4096}
+}
+
+func (s *ServerSessions) put(ticket, secret []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.m) >= s.Cap {
+		for k := range s.m { // arbitrary eviction keeps the store bounded
+			delete(s.m, k)
+			break
+		}
+	}
+	s.m[string(ticket)] = append([]byte(nil), secret...)
+}
+
+func (s *ServerSessions) get(ticket []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sec, ok := s.m[string(ticket)]
+	return sec, ok
+}
+
+// Len reports stored sessions.
+func (s *ServerSessions) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// SessionCache is the client-side resumption store, keyed by server name.
+type SessionCache struct {
+	mu sync.Mutex
+	m  map[string]clientSession
+}
+
+type clientSession struct {
+	ticket []byte
+	secret []byte
+}
+
+// NewSessionCache creates an empty client cache.
+func NewSessionCache() *SessionCache {
+	return &SessionCache{m: make(map[string]clientSession)}
+}
+
+func (c *SessionCache) put(server string, ticket, secret []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[server] = clientSession{
+		ticket: append([]byte(nil), ticket...),
+		secret: append([]byte(nil), secret...),
+	}
+}
+
+func (c *SessionCache) get(server string) (clientSession, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.m[server]
+	return s, ok
+}
+
+// Forget drops the cached session for server (after a failed resumption).
+func (c *SessionCache) Forget(server string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, server)
+}
+
+// resumeClient runs the abbreviated handshake. Returns (nil, false, nil)
+// when the server declined and the caller must fall back to a full
+// handshake on a fresh connection.
+func resumeClient(s Stream, cfg Config, sess clientSession, clientRand []byte) (*Conn, bool, error) {
+	hello := msg(msgClientHello, append(append([]byte{}, clientRand...), appendField(nil, sess.ticket)...))
+	if err := writeRecord(s, recHandshake, hello); err != nil {
+		return nil, false, err
+	}
+	rec, err := readRecord(s, recHandshake)
+	if err != nil {
+		return nil, false, err
+	}
+	typ, body, err := splitMsg(rec)
+	if err != nil {
+		return nil, false, ErrHandshake
+	}
+	if typ != msgServerResume {
+		// Full ServerHello: the server did not accept the ticket. The
+		// caller falls back (this connection continues the full path).
+		return nil, false, errFallback{rec: rec, body: body}
+	}
+	if len(body) != 32 {
+		return nil, false, ErrHandshake
+	}
+	serverRand := body
+	// Finished both ways proves both hold the secret.
+	verify := transcriptMAC(sess.secret, hello, rec)
+	if err := writeRecord(s, recHandshake, msg(msgFinished, verify)); err != nil {
+		return nil, false, err
+	}
+	finRec, err := readRecord(s, recHandshake)
+	if err != nil {
+		return nil, false, err
+	}
+	ft, fb, err := splitMsg(finRec)
+	if err != nil || ft != msgFinished || !hmac.Equal(fb, transcriptMAC(sess.secret, hello, rec, []byte("server"))) {
+		return nil, false, ErrHandshake
+	}
+	cliEnc, cliMac, srvEnc, srvMac := keySchedule(sess.secret, clientRand, serverRand)
+	conn, err := newConn(s, cfg, cliEnc, cliMac, srvEnc, srvMac, true, nil)
+	return conn, true, err
+}
+
+// errFallback carries the already-read full ServerHello so the client can
+// continue the full handshake without another round trip.
+type errFallback struct {
+	rec  []byte
+	body []byte
+}
+
+func (errFallback) Error() string { return "tlslite: resumption declined" }
+
+// issueTicket mints a ticket for secret and stores it.
+func issueTicket(cfg Config, secret []byte) []byte {
+	if cfg.Sessions == nil {
+		return nil
+	}
+	ticket := make([]byte, 16)
+	if _, err := io.ReadFull(cfg.rand(), ticket); err != nil {
+		return nil
+	}
+	cfg.Sessions.put(ticket, secret)
+	return ticket
+}

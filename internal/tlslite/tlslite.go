@@ -1,0 +1,578 @@
+// Package tlslite is a compact SSL/TLS-style secure channel: an
+// ECDHE-signed handshake followed by an encrypted, MAC-protected record
+// layer. It is the paper's "SSL" baseline (OpenVPN/OpenSSL in the
+// original testbed), deliberately built on the same primitives as the HIP
+// stack — ECDH P-256, RSA/ECDSA signatures, AES-128-CTR and
+// HMAC-SHA-256 — so throughput comparisons between HIP and SSL reflect
+// protocol structure rather than cipher implementations, exactly the
+// paper's argument that the two "essentially utilize the same
+// cryptographic algorithms".
+//
+// The package is transport-agnostic: it runs over anything implementing
+// Stream — a real net.Conn or a simulated connection bound to a process.
+// Virtual CPU costs are reported through Config.Charge so simulation
+// drivers can bill the VM.
+package tlslite
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"hipcloud/internal/identity"
+)
+
+// Stream is the byte transport the channel runs over.
+type Stream interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+}
+
+// Errors returned by the package.
+var (
+	ErrHandshake   = errors.New("tlslite: handshake failed")
+	ErrBadRecord   = errors.New("tlslite: malformed record")
+	ErrBadMAC      = errors.New("tlslite: record authentication failed")
+	ErrClosed      = errors.New("tlslite: connection closed")
+	ErrCertRefused = errors.New("tlslite: peer certificate refused")
+)
+
+// Record types.
+const (
+	recHandshake byte = 22
+	recAppData   byte = 23
+	recAlert     byte = 21
+)
+
+// maxRecord is the maximum plaintext per record.
+const maxRecord = 16 * 1024
+
+// Costs maps the channel's crypto operations to virtual CPU time; the
+// zero value makes all operations free (real deployments).
+type Costs struct {
+	Sign               time.Duration
+	Verify             time.Duration
+	DHKeygen           time.Duration
+	DHCompute          time.Duration
+	SymmetricNsPerByte float64
+}
+
+// Config configures one side of the channel.
+type Config struct {
+	// Identity signs the handshake (required for servers; optional for
+	// clients, which are anonymous as in typical HTTPS).
+	Identity *identity.HostIdentity
+	// VerifyPeer, when non-nil, decides whether to trust the peer's
+	// public identity (certificate pinning / CA stand-in).
+	VerifyPeer func(*identity.PublicID) error
+	// Costs is the virtual cost model.
+	Costs Costs
+	// Charge receives virtual CPU costs as they are incurred (nil
+	// discards them).
+	Charge func(time.Duration)
+	// Rand is the randomness source (nil = crypto/rand).
+	Rand io.Reader
+	// ServerName keys the client-side session cache.
+	ServerName string
+	// Cache enables client-side session resumption when non-nil.
+	Cache *SessionCache
+	// Sessions enables server-side resumption when non-nil.
+	Sessions *ServerSessions
+}
+
+func (c *Config) rand() io.Reader {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return rand.Reader
+}
+
+func (c *Config) charge(d time.Duration) {
+	if c.Charge != nil && d > 0 {
+		c.Charge(d)
+	}
+}
+
+// Conn is an established secure channel.
+type Conn struct {
+	stream Stream
+	cfg    Config
+
+	outSeq, inSeq uint64
+	outEnc, inEnc cipher.Block
+	outMac, inMac []byte
+
+	rbuf   []byte // decrypted application bytes
+	peer   *identity.PublicID
+	closed bool
+}
+
+// Peer returns the peer's verified identity (nil for anonymous clients).
+func (c *Conn) Peer() *identity.PublicID { return c.peer }
+
+// --- handshake messages ---
+
+// handshake message framing: type(1) len(3) body.
+const (
+	msgClientHello  byte = 1
+	msgServerHello  byte = 2
+	msgServerResume byte = 3
+	msgClientKey    byte = 16
+	msgFinished     byte = 20
+)
+
+func writeRecord(s Stream, typ byte, payload []byte) error {
+	hdr := []byte{typ, byte(len(payload) >> 8), byte(len(payload))}
+	if _, err := s.Write(append(hdr, payload...)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func readRecord(s Stream, want byte) ([]byte, error) {
+	hdr := make([]byte, 3)
+	if _, err := io.ReadFull(readerOf(s), hdr); err != nil {
+		return nil, err
+	}
+	n := int(hdr[1])<<8 | int(hdr[2])
+	if n > maxRecord+64 {
+		return nil, ErrBadRecord
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(readerOf(s), body); err != nil {
+		return nil, err
+	}
+	if hdr[0] == recAlert {
+		return nil, ErrClosed
+	}
+	if hdr[0] != want {
+		return nil, ErrBadRecord
+	}
+	return body, nil
+}
+
+// readerOf adapts Stream to io.Reader (it already is one structurally).
+func readerOf(s Stream) io.Reader { return readerFunc(s.Read) }
+
+type readerFunc func([]byte) (int, error)
+
+func (f readerFunc) Read(b []byte) (int, error) { return f(b) }
+
+func msg(typ byte, body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	out[0] = typ
+	out[1], out[2], out[3] = byte(len(body)>>16), byte(len(body)>>8), byte(len(body))
+	copy(out[4:], body)
+	return out
+}
+
+func splitMsg(b []byte) (byte, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrBadRecord
+	}
+	n := int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+	if len(b) < 4+n {
+		return 0, nil, ErrBadRecord
+	}
+	return b[0], b[4 : 4+n], nil
+}
+
+// keySchedule derives directional keys from the ECDHE secret and both
+// randoms (a PRF in the spirit of TLS 1.2's).
+func keySchedule(secret, clientRand, serverRand []byte) (cliEnc, cliMac, srvEnc, srvMac []byte) {
+	prf := func(label byte) []byte {
+		h := hmac.New(sha256.New, secret)
+		h.Write([]byte{label})
+		h.Write(clientRand)
+		h.Write(serverRand)
+		return h.Sum(nil)
+	}
+	cliKeys := prf(1) // 32 bytes: 16 enc + first half of mac
+	cliMacB := prf(2)
+	srvKeys := prf(3)
+	srvMacB := prf(4)
+	return cliKeys[:16], cliMacB, srvKeys[:16], srvMacB
+}
+
+// transcriptMAC computes the Finished verifier.
+func transcriptMAC(secret []byte, transcript ...[]byte) []byte {
+	h := hmac.New(sha256.New, secret)
+	for _, t := range transcript {
+		h.Write(t)
+	}
+	return h.Sum(nil)
+}
+
+// Client performs the client side of the handshake over s. With a
+// session cache configured it first attempts an abbreviated resumption
+// handshake, falling back to the full exchange when the server declines.
+func Client(s Stream, cfg Config) (*Conn, error) {
+	clientRand := make([]byte, 32)
+	if _, err := io.ReadFull(cfg.rand(), clientRand); err != nil {
+		return nil, err
+	}
+	if cfg.Cache != nil && cfg.ServerName != "" {
+		if sess, ok := cfg.Cache.get(cfg.ServerName); ok {
+			conn, resumed, err := resumeClient(s, cfg, sess, clientRand)
+			if resumed {
+				return conn, err
+			}
+			if fb, isFb := err.(errFallback); isFb {
+				// Server declined the ticket but already answered with a
+				// full ServerHello: continue the full handshake.
+				cfg.Cache.Forget(cfg.ServerName)
+				hello := msg(msgClientHello, append(append([]byte{}, clientRand...), appendField(nil, sess.ticket)...))
+				return clientFull(s, cfg, clientRand, hello, fb.rec, fb.body)
+			}
+			return nil, err
+		}
+	}
+	hello := msg(msgClientHello, append(append([]byte{}, clientRand...), appendField(nil, nil)...))
+	if err := writeRecord(s, recHandshake, hello); err != nil {
+		return nil, err
+	}
+	shRec, err := readRecord(s, recHandshake)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading server hello: %v", ErrHandshake, err)
+	}
+	typ, body, err := splitMsg(shRec)
+	if err != nil || typ != msgServerHello {
+		return nil, ErrHandshake
+	}
+	return clientFull(s, cfg, clientRand, hello, shRec, body)
+}
+
+// clientFull completes the full (non-resumed) handshake given the
+// already-received ServerHello.
+func clientFull(s Stream, cfg Config, clientRand, hello, shRec, body []byte) (*Conn, error) {
+	// ServerHello: rand(32) alg(2) certLen(2) cert dhLen(2) dh sigLen(2) sig.
+	if len(body) < 38 {
+		return nil, ErrHandshake
+	}
+	serverRand := body[:32]
+	alg := identity.Algorithm(binary.BigEndian.Uint16(body[32:]))
+	rest := body[34:]
+	cert, rest, err := takeField(rest)
+	if err != nil {
+		return nil, ErrHandshake
+	}
+	dhPub, rest, err := takeField(rest)
+	if err != nil {
+		return nil, ErrHandshake
+	}
+	sig, _, err := takeField(rest)
+	if err != nil {
+		return nil, ErrHandshake
+	}
+	peer, err := identity.ParsePublicID(alg, cert)
+	if err != nil {
+		return nil, ErrHandshake
+	}
+	if cfg.VerifyPeer != nil {
+		if err := cfg.VerifyPeer(peer); err != nil {
+			return nil, ErrCertRefused
+		}
+	}
+	cfg.charge(cfg.Costs.Verify)
+	signed := append(append(append([]byte{}, clientRand...), serverRand...), dhPub...)
+	if err := peer.Verify(signed, sig); err != nil {
+		return nil, ErrHandshake
+	}
+	// Client ECDHE.
+	priv, err := ecdh.P256().GenerateKey(cfg.rand())
+	if err != nil {
+		return nil, err
+	}
+	cfg.charge(cfg.Costs.DHKeygen)
+	srvKey, err := ecdh.P256().NewPublicKey(dhPub)
+	if err != nil {
+		return nil, ErrHandshake
+	}
+	secret, err := priv.ECDH(srvKey)
+	if err != nil {
+		return nil, ErrHandshake
+	}
+	cfg.charge(cfg.Costs.DHCompute)
+	cke := msg(msgClientKey, priv.PublicKey().Bytes())
+	if err := writeRecord(s, recHandshake, cke); err != nil {
+		return nil, err
+	}
+	// Finished exchange.
+	verify := transcriptMAC(secret, hello, shRec, cke)
+	if err := writeRecord(s, recHandshake, msg(msgFinished, verify)); err != nil {
+		return nil, err
+	}
+	finRec, err := readRecord(s, recHandshake)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading finished: %v", ErrHandshake, err)
+	}
+	ft, fb, err := splitMsg(finRec)
+	if err != nil || ft != msgFinished || len(fb) < 32 ||
+		!hmac.Equal(fb[:32], transcriptMAC(secret, hello, shRec, cke, []byte("server"))) {
+		return nil, ErrHandshake
+	}
+	// A session ticket may follow the verifier.
+	if cfg.Cache != nil && cfg.ServerName != "" && len(fb) > 32 {
+		if ticket, _, err := takeField(fb[32:]); err == nil && len(ticket) > 0 {
+			cfg.Cache.put(cfg.ServerName, ticket, secret)
+		}
+	}
+	cliEnc, cliMac, srvEnc, srvMac := keySchedule(secret, clientRand, serverRand)
+	return newConn(s, cfg, cliEnc, cliMac, srvEnc, srvMac, true, peer)
+}
+
+// Server performs the server side of the handshake over s.
+func Server(s Stream, cfg Config) (*Conn, error) {
+	if cfg.Identity == nil {
+		return nil, errors.New("tlslite: server requires an identity")
+	}
+	chRec, err := readRecord(s, recHandshake)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading client hello: %v", ErrHandshake, err)
+	}
+	typ, chBody, err := splitMsg(chRec)
+	if err != nil || typ != msgClientHello || len(chBody) < 32 {
+		return nil, ErrHandshake
+	}
+	clientRand := chBody[:32]
+	var ticket []byte
+	if len(chBody) > 32 {
+		if tk, _, err := takeField(chBody[32:]); err == nil {
+			ticket = tk
+		}
+	}
+	serverRand := make([]byte, 32)
+	if _, err := io.ReadFull(cfg.rand(), serverRand); err != nil {
+		return nil, err
+	}
+	// Abbreviated handshake when the ticket resolves.
+	if len(ticket) > 0 && cfg.Sessions != nil {
+		if secret, ok := cfg.Sessions.get(ticket); ok {
+			return serverResume(s, cfg, chRec, clientRand, serverRand, secret)
+		}
+	}
+	priv, err := ecdh.P256().GenerateKey(cfg.rand())
+	if err != nil {
+		return nil, err
+	}
+	cfg.charge(cfg.Costs.DHKeygen)
+	dhPub := priv.PublicKey().Bytes()
+	signed := append(append(append([]byte{}, clientRand...), serverRand...), dhPub...)
+	sig, err := cfg.Identity.Sign(signed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.charge(cfg.Costs.Sign)
+	pub := cfg.Identity.Public()
+	body := append([]byte{}, serverRand...)
+	var algB [2]byte
+	binary.BigEndian.PutUint16(algB[:], uint16(pub.Alg))
+	body = append(body, algB[:]...)
+	body = appendField(body, pub.DER)
+	body = appendField(body, dhPub)
+	body = appendField(body, sig)
+	shRec := msg(msgServerHello, body)
+	if err := writeRecord(s, recHandshake, shRec); err != nil {
+		return nil, err
+	}
+	ckeRec, err := readRecord(s, recHandshake)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading client key: %v", ErrHandshake, err)
+	}
+	ct, cliPubB, err := splitMsg(ckeRec)
+	if err != nil || ct != msgClientKey {
+		return nil, ErrHandshake
+	}
+	cliPub, err := ecdh.P256().NewPublicKey(cliPubB)
+	if err != nil {
+		return nil, ErrHandshake
+	}
+	secret, err := priv.ECDH(cliPub)
+	if err != nil {
+		return nil, ErrHandshake
+	}
+	cfg.charge(cfg.Costs.DHCompute)
+	finRec, err := readRecord(s, recHandshake)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading finished: %v", ErrHandshake, err)
+	}
+	ft, fb, err := splitMsg(finRec)
+	if err != nil || ft != msgFinished || !hmac.Equal(fb, transcriptMAC(secret, chRec, shRec, ckeRec)) {
+		return nil, ErrHandshake
+	}
+	srvFin := transcriptMAC(secret, chRec, shRec, ckeRec, []byte("server"))
+	srvFin = appendField(srvFin, issueTicket(cfg, secret))
+	if err := writeRecord(s, recHandshake, msg(msgFinished, srvFin)); err != nil {
+		return nil, err
+	}
+	cliEnc, cliMac, srvEnc, srvMac := keySchedule(secret, clientRand, serverRand)
+	return newConn(s, cfg, cliEnc, cliMac, srvEnc, srvMac, false, nil)
+}
+
+// serverResume completes the abbreviated handshake.
+func serverResume(s Stream, cfg Config, chRec, clientRand, serverRand, secret []byte) (*Conn, error) {
+	srRec := msg(msgServerResume, serverRand)
+	if err := writeRecord(s, recHandshake, srRec); err != nil {
+		return nil, err
+	}
+	finRec, err := readRecord(s, recHandshake)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading resumed finished: %v", ErrHandshake, err)
+	}
+	ft, fb, err := splitMsg(finRec)
+	if err != nil || ft != msgFinished || !hmac.Equal(fb, transcriptMAC(secret, chRec, srRec)) {
+		return nil, ErrHandshake
+	}
+	if err := writeRecord(s, recHandshake, msg(msgFinished, transcriptMAC(secret, chRec, srRec, []byte("server")))); err != nil {
+		return nil, err
+	}
+	cliEnc, cliMac, srvEnc, srvMac := keySchedule(secret, clientRand, serverRand)
+	return newConn(s, cfg, cliEnc, cliMac, srvEnc, srvMac, false, nil)
+}
+
+func takeField(b []byte) (field, rest []byte, err error) {
+	if len(b) < 2 {
+		return nil, nil, ErrBadRecord
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return nil, nil, ErrBadRecord
+	}
+	return b[2 : 2+n], b[2+n:], nil
+}
+
+func appendField(b, field []byte) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(field)))
+	return append(append(b, l[:]...), field...)
+}
+
+func newConn(s Stream, cfg Config, cliEnc, cliMac, srvEnc, srvMac []byte, isClient bool, peer *identity.PublicID) (*Conn, error) {
+	ce, err := aes.NewCipher(cliEnc)
+	if err != nil {
+		return nil, err
+	}
+	se, err := aes.NewCipher(srvEnc)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{stream: s, cfg: cfg, peer: peer}
+	if isClient {
+		c.outEnc, c.outMac = ce, cliMac
+		c.inEnc, c.inMac = se, srvMac
+	} else {
+		c.outEnc, c.outMac = se, srvMac
+		c.inEnc, c.inMac = ce, cliMac
+	}
+	return c, nil
+}
+
+const macLen = 16
+
+// sealRecord encrypts and MACs one application record.
+func (c *Conn) sealRecord(plain []byte) []byte {
+	c.outSeq++
+	var iv [16]byte
+	binary.BigEndian.PutUint64(iv[:8], c.outSeq)
+	c.outEnc.Encrypt(iv[:], iv[:])
+	ct := make([]byte, len(plain))
+	cipher.NewCTR(c.outEnc, iv[:]).XORKeyStream(ct, plain)
+	var seqB [8]byte
+	binary.BigEndian.PutUint64(seqB[:], c.outSeq)
+	m := hmac.New(sha256.New, c.outMac)
+	m.Write(seqB[:])
+	m.Write(ct)
+	out := append(ct, m.Sum(nil)[:macLen]...)
+	c.cfg.charge(c.cfg.Costs.symmetric(len(plain)))
+	return out
+}
+
+func (cst Costs) symmetric(n int) time.Duration {
+	return time.Duration(cst.SymmetricNsPerByte * float64(n))
+}
+
+// openRecord verifies and decrypts one record body.
+func (c *Conn) openRecord(body []byte) ([]byte, error) {
+	if len(body) < macLen {
+		return nil, ErrBadRecord
+	}
+	ct, tag := body[:len(body)-macLen], body[len(body)-macLen:]
+	c.inSeq++
+	var seqB [8]byte
+	binary.BigEndian.PutUint64(seqB[:], c.inSeq)
+	m := hmac.New(sha256.New, c.inMac)
+	m.Write(seqB[:])
+	m.Write(ct)
+	if !hmac.Equal(tag, m.Sum(nil)[:macLen]) {
+		return nil, ErrBadMAC
+	}
+	var iv [16]byte
+	binary.BigEndian.PutUint64(iv[:8], c.inSeq)
+	c.inEnc.Encrypt(iv[:], iv[:])
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(c.inEnc, iv[:]).XORKeyStream(pt, ct)
+	c.cfg.charge(c.cfg.Costs.symmetric(len(pt)))
+	return pt, nil
+}
+
+// Write encrypts and sends b, fragmenting into records.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	total := 0
+	for len(b) > 0 {
+		n := len(b)
+		if n > maxRecord {
+			n = maxRecord
+		}
+		rec := c.sealRecord(b[:n])
+		if err := writeRecord(c.stream, recAppData, rec); err != nil {
+			return total, err
+		}
+		total += n
+		b = b[n:]
+	}
+	return total, nil
+}
+
+// Read decrypts application data into b.
+func (c *Conn) Read(b []byte) (int, error) {
+	for len(c.rbuf) == 0 {
+		if c.closed {
+			return 0, ErrClosed
+		}
+		body, err := readRecord(c.stream, recAppData)
+		if err != nil {
+			return 0, err
+		}
+		pt, err := c.openRecord(body)
+		if err != nil {
+			return 0, err
+		}
+		c.rbuf = pt
+	}
+	n := copy(b, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+// Close sends a close alert.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return writeRecord(c.stream, recAlert, []byte{0})
+}
+
+// Overhead reports the per-record wire overhead in bytes.
+func Overhead() int { return 3 + macLen }

@@ -1,0 +1,219 @@
+package tlslite
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"hipcloud/internal/identity"
+)
+
+var (
+	srvID = identity.MustGenerate(identity.AlgECDSA)
+	rsaID = identity.MustGenerate(identity.AlgRSA)
+)
+
+// pipePair builds an in-memory bidirectional stream pair.
+type pipeEnd struct {
+	r  *io.PipeReader
+	w  *io.PipeWriter
+	mu sync.Mutex
+}
+
+func (p *pipeEnd) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p *pipeEnd) Write(b []byte) (int, error) { p.mu.Lock(); defer p.mu.Unlock(); return p.w.Write(b) }
+
+func pipePair() (*pipeEnd, *pipeEnd) {
+	ar, bw := io.Pipe()
+	br, aw := io.Pipe()
+	return &pipeEnd{r: ar, w: aw}, &pipeEnd{r: br, w: bw}
+}
+
+// handshake runs client and server concurrently (real goroutines, since
+// io.Pipe is synchronous) and returns both conns.
+func handshake(t *testing.T, cliCfg, srvCfg Config) (*Conn, *Conn) {
+	t.Helper()
+	ce, se := pipePair()
+	var cli, srv *Conn
+	var cerr, serr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); cli, cerr = Client(ce, cliCfg) }()
+	go func() { defer wg.Done(); srv, serr = Server(se, srvCfg) }()
+	wg.Wait()
+	if cerr != nil || serr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cerr, serr)
+	}
+	return cli, srv
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	cli, srv := handshake(t, Config{}, Config{Identity: srvID})
+	go func() {
+		buf := make([]byte, 64)
+		n, err := srv.Read(buf)
+		if err != nil {
+			return
+		}
+		srv.Write(buf[:n])
+	}()
+	cli.Write([]byte("hello ssl"))
+	buf := make([]byte, 64)
+	n, err := cli.Read(buf)
+	if err != nil || string(buf[:n]) != "hello ssl" {
+		t.Fatalf("echo: %q %v", buf[:n], err)
+	}
+	if cli.Peer() == nil || cli.Peer().HIT() != srvID.HIT() {
+		t.Fatal("client did not capture server identity")
+	}
+}
+
+func TestRSAServerIdentity(t *testing.T) {
+	cli, srv := handshake(t, Config{}, Config{Identity: rsaID})
+	go srv.Write([]byte("rsa works"))
+	buf := make([]byte, 32)
+	n, err := cli.Read(buf)
+	if err != nil || string(buf[:n]) != "rsa works" {
+		t.Fatalf("%q %v", buf[:n], err)
+	}
+}
+
+func TestVerifyPeerPinRejects(t *testing.T) {
+	ce, se := pipePair()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); Server(se, Config{Identity: srvID}) }()
+	_, err := Client(ce, Config{VerifyPeer: func(p *identity.PublicID) error {
+		if p.HIT() != rsaID.HIT() { // pin a different key
+			return errors.New("wrong key")
+		}
+		return nil
+	}})
+	if err != ErrCertRefused {
+		t.Fatalf("err = %v, want ErrCertRefused", err)
+	}
+	ce.w.Close()
+	wg.Wait()
+}
+
+func TestVerifyPeerPinAccepts(t *testing.T) {
+	cli, _ := handshake(t, Config{VerifyPeer: func(p *identity.PublicID) error {
+		if p.HIT() != srvID.HIT() {
+			return errors.New("wrong key")
+		}
+		return nil
+	}}, Config{Identity: srvID})
+	if cli.Peer().HIT() != srvID.HIT() {
+		t.Fatal("pinned identity mismatch")
+	}
+}
+
+func TestLargeTransferFragmentsRecords(t *testing.T) {
+	cli, srv := handshake(t, Config{}, Config{Identity: srvID})
+	data := make([]byte, 100*1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	go cli.Write(data)
+	var got []byte
+	buf := make([]byte, 32*1024)
+	for len(got) < len(data) {
+		n, err := srv.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("large transfer mismatch")
+	}
+}
+
+// tamperStream flips a byte of the nth record body it forwards.
+type tamperStream struct {
+	Stream
+	armed bool
+}
+
+func (ts *tamperStream) Write(b []byte) (int, error) {
+	if ts.armed && len(b) > 10 && b[0] == recAppData {
+		b = append([]byte(nil), b...)
+		b[7] ^= 0x20
+	}
+	return ts.Stream.Write(b)
+}
+
+func TestTamperedRecordRejected(t *testing.T) {
+	ce, se := pipePair()
+	tse := &tamperStream{Stream: se}
+	var cli, srv *Conn
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); cli, _ = Client(ce, Config{}) }()
+	go func() { defer wg.Done(); srv, _ = Server(tse, Config{Identity: srvID}) }()
+	wg.Wait()
+	if cli == nil || srv == nil {
+		t.Fatal("handshake failed")
+	}
+	tse.armed = true
+	go srv.Write([]byte("will be tampered"))
+	_, err := cli.Read(make([]byte, 64))
+	if err != ErrBadMAC {
+		t.Fatalf("err = %v, want ErrBadMAC", err)
+	}
+}
+
+func TestServerRequiresIdentity(t *testing.T) {
+	_, se := pipePair()
+	if _, err := Server(se, Config{}); err == nil {
+		t.Fatal("server without identity accepted")
+	}
+}
+
+func TestCloseAlertStopsReads(t *testing.T) {
+	cli, srv := handshake(t, Config{}, Config{Identity: srvID})
+	go cli.Close()
+	if _, err := srv.Read(make([]byte, 8)); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestChargeHookReceivesCosts(t *testing.T) {
+	var cliCost, srvCost time.Duration
+	costs := Costs{
+		Sign: time.Millisecond, Verify: 500 * time.Microsecond,
+		DHKeygen: time.Millisecond, DHCompute: 2 * time.Millisecond,
+		SymmetricNsPerByte: 10,
+	}
+	cli, srv := handshake(t,
+		Config{Costs: costs, Charge: func(d time.Duration) { cliCost += d }},
+		Config{Identity: srvID, Costs: costs, Charge: func(d time.Duration) { srvCost += d }},
+	)
+	if cliCost < costs.Verify+costs.DHKeygen+costs.DHCompute {
+		t.Fatalf("client handshake cost %v too low", cliCost)
+	}
+	if srvCost < costs.Sign+costs.DHKeygen+costs.DHCompute {
+		t.Fatalf("server handshake cost %v too low", srvCost)
+	}
+	base := cliCost
+	go srv.Read(make([]byte, 64*1024))
+	cli.Write(make([]byte, 10000))
+	if cliCost-base < costs.symmetric(10000) {
+		t.Fatalf("data cost not charged: %v", cliCost-base)
+	}
+}
+
+func TestGarbageHandshakeRejected(t *testing.T) {
+	ce, se := pipePair()
+	go func() {
+		// Consume the ClientHello, then answer with garbage.
+		io.ReadFull(readerOf(se), make([]byte, 3+4+32+2))
+		se.Write([]byte{recHandshake, 0, 4, 9, 9, 9, 9})
+	}()
+	if _, err := Client(ce, Config{}); err == nil {
+		t.Fatal("garbage server hello accepted")
+	}
+}

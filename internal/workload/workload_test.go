@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"bufio"
+	"net/netip"
+	"testing"
+	"time"
+
+	"hipcloud/internal/microhttp"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/secio"
+	"hipcloud/internal/simtcp"
+)
+
+var (
+	addrA = netip.MustParseAddr("10.0.0.1")
+	addrB = netip.MustParseAddr("10.0.0.2")
+)
+
+// httpWorld: a plain HTTP server on node B answering every request after
+// a fixed service delay, and a client transport on node A.
+func httpWorld(t *testing.T, service time.Duration) (*netsim.Sim, *secio.Transport) {
+	t.Helper()
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	a := n.AddNode("a", 8, 8)
+	b := n.AddNode("b", 8, 8)
+	n.Connect(a, addrA, b, addrB, netsim.Link{Latency: time.Millisecond})
+	srvT := &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(b, simtcp.NewPlainFabric(b))}
+	cliT := &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(a, simtcp.NewPlainFabric(a))}
+	l := srvT.MustListen(80)
+	s.Spawn("server", func(p *netsim.Proc) {
+		for {
+			raw, err := l.AcceptRaw(p, 0)
+			if err != nil {
+				return
+			}
+			conn := raw
+			p.Spawn("handler", func(hp *netsim.Proc) {
+				c, err := srvT.ServerConn(hp, conn)
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					req, err := microhttp.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					hp.Sleep(service)
+					if err := microhttp.WriteResponse(c, &microhttp.Response{
+						Status: 200, Body: []byte("ok"),
+					}); err != nil {
+						return
+					}
+					if req.WantsClose() {
+						return
+					}
+				}
+			})
+		}
+	})
+	return s, cliT
+}
+
+func TestClosedLoopThroughputAndLatency(t *testing.T) {
+	s, cliT := httpWorld(t, 10*time.Millisecond)
+	w := &ClosedLoop{
+		Transport: cliT, Target: addrB, Port: 80,
+		Clients: 4, Duration: 5 * time.Second,
+		NextPath: func() string { return "/x" },
+	}
+	res := w.Run(s)
+	s.Run(20 * time.Second)
+	s.Shutdown()
+	// RT ≈ 10ms service + 2ms RTT ⇒ ≈83 req/s/client ⇒ ~330 total.
+	if res.Completed < 1000 || res.Completed > 2000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	mean := res.Latency.Mean()
+	if mean < 11*time.Millisecond || mean > 16*time.Millisecond {
+		t.Fatalf("mean latency = %v, want ≈12ms", mean)
+	}
+	if tput := res.Throughput(); tput < 250 || tput > 400 {
+		t.Fatalf("throughput = %.1f", tput)
+	}
+}
+
+func TestClosedLoopTimeoutCountsErrors(t *testing.T) {
+	// Service time far beyond the client timeout: every request fails.
+	s, cliT := httpWorld(t, 3*time.Second)
+	w := &ClosedLoop{
+		Transport: cliT, Target: addrB, Port: 80,
+		Clients: 2, Duration: 4 * time.Second, Timeout: 500 * time.Millisecond,
+		NextPath: func() string { return "/slow" },
+	}
+	res := w.Run(s)
+	s.Run(20 * time.Second)
+	s.Shutdown()
+	if res.Errors == 0 {
+		t.Fatal("expected timeout errors")
+	}
+	if res.Completed > res.Errors {
+		t.Fatalf("completed=%d > errors=%d under heavy timeouts", res.Completed, res.Errors)
+	}
+}
+
+func TestOpenLoopHoldsRate(t *testing.T) {
+	s, cliT := httpWorld(t, 2*time.Millisecond)
+	w := &OpenLoop{
+		Transport: cliT, Target: addrB, Port: 80,
+		Rate: 100, Duration: 5 * time.Second,
+		NextPath: func() string { return "/r" },
+	}
+	res := w.Run(s)
+	s.Run(30 * time.Second)
+	s.Shutdown()
+	// 100 req/s for 5s = 500 requests (modulo edge effects).
+	if res.Completed < 480 || res.Completed > 500 {
+		t.Fatalf("completed = %d, want ≈500", res.Completed)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+func TestOpenLoopWarmupDiscardsEarlySamples(t *testing.T) {
+	s, cliT := httpWorld(t, 2*time.Millisecond)
+	w := &OpenLoop{
+		Transport: cliT, Target: addrB, Port: 80,
+		Rate: 50, Duration: 4 * time.Second, Warmup: 2 * time.Second,
+		NextPath: func() string { return "/w" },
+	}
+	res := w.Run(s)
+	s.Run(30 * time.Second)
+	s.Shutdown()
+	// Only the second half counts: ≈100 of 200.
+	if res.Completed < 90 || res.Completed > 110 {
+		t.Fatalf("completed = %d, want ≈100 after warmup", res.Completed)
+	}
+}
+
+func TestBulkTransfer(t *testing.T) {
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	a := n.AddNode("a", 4, 4)
+	b := n.AddNode("b", 4, 4)
+	n.Connect(a, addrA, b, addrB, netsim.Link{Latency: 500 * time.Microsecond, Bandwidth: 12.5e6})
+	cliT := &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(a, simtcp.NewPlainFabric(a))}
+	srvT := &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(b, simtcp.NewPlainFabric(b))}
+	bulk := &Bulk{Client: cliT, Server: srvT, Target: addrB, Port: 5001, Total: 4 << 20}
+	res := bulk.Run(s)
+	s.Run(2 * time.Minute)
+	s.Shutdown()
+	if res.Err != nil {
+		t.Fatalf("bulk: %v", res.Err)
+	}
+	if res.Bytes != 4<<20 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	// 12.5 MB/s link ≈ 100 Mbit/s wire; goodput slightly below.
+	if m := res.Mbps(); m < 70 || m > 100 {
+		t.Fatalf("goodput = %.1f Mbit/s, want ≈90", m)
+	}
+}
+
+func TestPingSeries(t *testing.T) {
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	a := n.AddNode("a", 2, 2)
+	b := n.AddNode("b", 2, 2)
+	n.Connect(a, addrA, b, addrB, netsim.Link{Latency: 3 * time.Millisecond})
+	h := PingSeries(s, 10, 20*time.Millisecond, func(p *netsim.Proc) (time.Duration, error) {
+		return a.Ping(p, addrB, 64, time.Second)
+	})
+	s.Run(10 * time.Second)
+	s.Shutdown()
+	if h.Count() != 10 {
+		t.Fatalf("pings = %d", h.Count())
+	}
+	if h.Mean() != 6*time.Millisecond {
+		t.Fatalf("mean rtt = %v", h.Mean())
+	}
+}
