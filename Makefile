@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench-smoke bench
+
+all: check
+
+# The full pre-merge gate: static checks, build, tests (incl. race) and a
+# quick allocation-guard smoke over the crypto fast paths.
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fast allocation smoke: the Seal/Record benches report B/op and allocs/op;
+# the AllocsPerRun guard tests (run by `test`) enforce the 0-alloc contract.
+bench-smoke:
+	$(GO) test -run=NONE -bench='Seal|Record' -benchtime=10x -benchmem \
+		./internal/esp ./internal/tlslite ./internal/keymat ./internal/netsim
+
+# Full benchmark sweep, including the paper-figure reproductions.
+bench:
+	$(GO) test -run=NONE -bench . -benchmem ./...

@@ -7,13 +7,30 @@
 // Supported transforms come from hipcloud/internal/keymat: AES-128-CTR and
 // AES-128-CBC with HMAC-SHA-256-128 integrity, plus a NULL cipher for
 // integrity-only operation.
+//
+// # Zero-allocation fast path
+//
+// SealAppend and OpenAppend are the steady-state APIs: they append the
+// sealed packet (or recovered payload) to a caller-provided buffer and
+// return the extended slice, exactly like cipher.AEAD. With a reused
+// destination buffer they perform zero heap allocations per packet on the
+// AES-CTR and NULL suites (and on AES-CBC when the platform cipher
+// supports IV reuse): the HMAC state is keyed once at SA setup and
+// reset-reused, IVs are derived into stack arrays, and ciphertext is
+// produced in place in the destination. Seal and Open remain as thin
+// allocating wrappers for callers that want a fresh buffer.
+//
+// Buffer ownership: SealAppend/OpenAppend never alias SA-internal state
+// in their output — the returned bytes live entirely in dst's (possibly
+// grown) backing array and remain valid after the next call. The inverse
+// does not hold: an SA is single-owner scratch, so concurrent calls on
+// one SA are not safe (they never were; the sequence number and replay
+// window already serialize it).
 package esp
 
 import (
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/hmac"
-	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 
@@ -39,16 +56,56 @@ const HeaderLen = 8
 // ReplayWindow is the anti-replay window width in packets.
 const ReplayWindow = 64
 
+// MaxOverhead is the worst-case size increase of Seal over the payload
+// across all suites: header, CBC IV block, trailer plus block round-up,
+// and the ICV. Callers use it to pre-size SealAppend destinations when
+// the negotiated suite is not at hand.
+const MaxOverhead = HeaderLen + 16 + 17 + ICVLen
+
+// nextHeader is the ESP trailer next-header value (59 = IPv6 no-next-header,
+// the BEET-mode convention used throughout).
+const nextHeader = 59
+
+// ivSetter is the optional block-mode interface that lets one CBC
+// encrypter/decrypter be re-IV'd per packet instead of reallocated
+// (implemented by the stdlib AES CBC modes).
+type ivSetter interface {
+	SetIV([]byte)
+}
+
+// ivScratch is per-SA scratch for deterministic IV derivation. The arrays
+// are passed through the cipher.Block interface, so they must live in the
+// (already heap-resident) SA rather than on the sealing call's stack to
+// keep the per-packet path allocation-free.
+type ivScratch struct {
+	ctr, iv [16]byte
+}
+
+// derive builds a unique 16-byte IV from the SPI and sequence number
+// keyed through the cipher itself (encrypting the counter block), which is
+// standard practice for deterministic IVs. The result aliases s and is
+// valid until the next derive.
+func (s *ivScratch) derive(block cipher.Block, spi, seq uint32) *[16]byte {
+	binary.BigEndian.PutUint32(s.ctr[0:], spi)
+	binary.BigEndian.PutUint32(s.ctr[4:], seq)
+	block.Encrypt(s.iv[:], s.ctr[:])
+	return &s.iv
+}
+
 // OutboundSA encrypts and authenticates packets for one direction.
 type OutboundSA struct {
 	SPI    uint32
 	suite  keymat.Suite
 	encKey []byte
 	block  cipher.Block
-	mac    []byte
 	seq    uint32
-	// iv is a deterministic per-SA IV counter for CBC/CTR construction;
-	// combined with the sequence number it never repeats within an SA.
+	// mac is the cached keyed HMAC state, reset-reused per packet.
+	mac *keymat.MAC
+	// ctr is per-SA CTR scratch so keystream blocks stay off the heap.
+	ctr keymat.CTRScratch
+	// cbc is the cached CBC encrypter when the cipher supports SetIV.
+	cbc     cipher.BlockMode
+	ivs     ivScratch
 	Packets uint64
 	Bytes   uint64
 }
@@ -59,7 +116,10 @@ type InboundSA struct {
 	suite  keymat.Suite
 	encKey []byte
 	block  cipher.Block
-	mac    []byte
+	mac    *keymat.MAC
+	ctr    keymat.CTRScratch
+	cbc    cipher.BlockMode
+	ivs    ivScratch
 	// Anti-replay state: highest sequence seen and a bitmap of the
 	// ReplayWindow sequences at and below it.
 	highest   uint32
@@ -72,31 +132,7 @@ type InboundSA struct {
 
 // NewOutbound creates the sending half of an SA.
 func NewOutbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*OutboundSA, error) {
-	sa := &OutboundSA{SPI: spi, suite: suite, encKey: encKey, mac: authKey}
-	if err := sa.initCipher(); err != nil {
-		return nil, err
-	}
-	return sa, nil
-}
-
-func (sa *OutboundSA) initCipher() error {
-	switch sa.suite {
-	case keymat.SuiteAESCBCSHA256, keymat.SuiteAESCTRSHA256:
-		b, err := aes.NewCipher(sa.encKey)
-		if err != nil {
-			return err
-		}
-		sa.block = b
-	case keymat.SuiteNullSHA256:
-	default:
-		return keymat.ErrUnknownSuite
-	}
-	return nil
-}
-
-// NewInbound creates the receiving half of an SA.
-func NewInbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*InboundSA, error) {
-	sa := &InboundSA{SPI: spi, suite: suite, encKey: encKey, mac: authKey}
+	sa := &OutboundSA{SPI: spi, suite: suite, encKey: encKey, mac: keymat.NewMAC(authKey)}
 	switch suite {
 	case keymat.SuiteAESCBCSHA256, keymat.SuiteAESCTRSHA256:
 		b, err := aes.NewCipher(encKey)
@@ -104,6 +140,12 @@ func NewInbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*Inboun
 			return nil, err
 		}
 		sa.block = b
+		if suite == keymat.SuiteAESCBCSHA256 {
+			var zero [aes.BlockSize]byte
+			if m := cipher.NewCBCEncrypter(b, zero[:]); isIVSetter(m) {
+				sa.cbc = m
+			}
+		}
 	case keymat.SuiteNullSHA256:
 	default:
 		return nil, keymat.ErrUnknownSuite
@@ -111,72 +153,148 @@ func NewInbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*Inboun
 	return sa, nil
 }
 
+// NewInbound creates the receiving half of an SA.
+func NewInbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*InboundSA, error) {
+	sa := &InboundSA{SPI: spi, suite: suite, encKey: encKey, mac: keymat.NewMAC(authKey)}
+	switch suite {
+	case keymat.SuiteAESCBCSHA256, keymat.SuiteAESCTRSHA256:
+		b, err := aes.NewCipher(encKey)
+		if err != nil {
+			return nil, err
+		}
+		sa.block = b
+		if suite == keymat.SuiteAESCBCSHA256 {
+			var zero [aes.BlockSize]byte
+			if m := cipher.NewCBCDecrypter(b, zero[:]); isIVSetter(m) {
+				sa.cbc = m
+			}
+		}
+	case keymat.SuiteNullSHA256:
+	default:
+		return nil, keymat.ErrUnknownSuite
+	}
+	return sa, nil
+}
+
+func isIVSetter(m cipher.BlockMode) bool {
+	_, ok := m.(ivSetter)
+	return ok
+}
+
 // Seq returns the last sequence number sent.
 func (sa *OutboundSA) Seq() uint32 { return sa.seq }
 
-// deriveIV builds a unique 16-byte IV from the SPI and sequence number
-// keyed through the cipher itself (encrypting the counter block), which is
-// standard practice for deterministic IVs.
-func deriveIV(block cipher.Block, spi, seq uint32) []byte {
-	var ctr [16]byte
-	binary.BigEndian.PutUint32(ctr[0:], spi)
-	binary.BigEndian.PutUint32(ctr[4:], seq)
-	iv := make([]byte, 16)
-	block.Encrypt(iv, ctr[:])
-	return iv
-}
-
-// Seal encrypts and authenticates payload, producing a full ESP packet.
-func (sa *OutboundSA) Seal(payload []byte) ([]byte, error) {
-	if sa.seq == ^uint32(0) {
-		return nil, ErrSeqExhausted
-	}
-	sa.seq++
-	var body []byte
-	switch sa.suite {
+// bodyLen reports the on-wire body length (IV + ciphertext + trailer, no
+// header/ICV) a suite produces for a payload of length n.
+func bodyLen(s keymat.Suite, n int) int {
+	switch s {
 	case keymat.SuiteNullSHA256:
-		// pad-len and next-header trailer, zero padding.
-		body = append(append([]byte{}, payload...), 0, 59)
+		return n + 2
 	case keymat.SuiteAESCTRSHA256:
-		iv := deriveIV(sa.block, sa.SPI, sa.seq)
-		trailer := append(append([]byte{}, payload...), 0, 59)
-		ct := make([]byte, len(trailer))
-		cipher.NewCTR(sa.block, iv).XORKeyStream(ct, trailer)
-		body = append(iv[:8], ct...) // 8-byte IV on the wire for CTR
+		return 8 + n + 2
 	case keymat.SuiteAESCBCSHA256:
-		iv := deriveIV(sa.block, sa.SPI, sa.seq)
-		padLen := aes.BlockSize - (len(payload)+2)%aes.BlockSize
+		padLen := aes.BlockSize - (n+2)%aes.BlockSize
 		if padLen == aes.BlockSize {
 			padLen = 0
 		}
-		pt := make([]byte, len(payload)+padLen+2)
+		return aes.BlockSize + n + padLen + 2
+	}
+	return 0
+}
+
+// SealedLen reports the total packet length SealAppend will produce for a
+// payload of length n, for callers pre-sizing destination buffers.
+func (sa *OutboundSA) SealedLen(n int) int {
+	return HeaderLen + bodyLen(sa.suite, n) + ICVLen
+}
+
+// ensure grows b by n bytes, reallocating only when capacity is short,
+// and returns the grown slice plus the appended region.
+func ensure(b []byte, n int) (grown, region []byte) {
+	off := len(b)
+	if cap(b)-off < n {
+		nb := make([]byte, off+n, off+n+(off+n)/2)
+		copy(nb, b)
+		b = nb
+	} else {
+		b = b[:off+n]
+	}
+	return b, b[off : off+n]
+}
+
+// SealAppend encrypts and authenticates payload, appending the full ESP
+// packet to dst and returning the extended slice. With a dst whose
+// capacity already fits the packet, the CTR and NULL suites allocate
+// nothing. payload and dst must not overlap.
+func (sa *OutboundSA) SealAppend(dst, payload []byte) ([]byte, error) {
+	if sa.seq == ^uint32(0) {
+		return nil, ErrSeqExhausted
+	}
+	bl := bodyLen(sa.suite, len(payload))
+	if bl == 0 && sa.suite != keymat.SuiteNullSHA256 {
+		return nil, keymat.ErrUnknownSuite
+	}
+	sa.seq++
+	dst, pkt := ensure(dst, HeaderLen+bl+ICVLen)
+	binary.BigEndian.PutUint32(pkt[0:], sa.SPI)
+	binary.BigEndian.PutUint32(pkt[4:], sa.seq)
+	body := pkt[HeaderLen : HeaderLen+bl]
+	switch sa.suite {
+	case keymat.SuiteNullSHA256:
+		// pad-len and next-header trailer, zero padding.
+		copy(body, payload)
+		body[len(body)-2] = 0
+		body[len(body)-1] = nextHeader
+	case keymat.SuiteAESCTRSHA256:
+		iv := sa.ivs.derive(sa.block, sa.SPI, sa.seq)
+		// The wire body is built explicitly — 8 IV bytes, then the
+		// in-place-encrypted trailer — so it can never alias the IV
+		// scratch (the old append(iv[:8], ct...) shared backing arrays).
+		copy(body[:8], iv[:8])
+		ct := body[8:]
+		copy(ct, payload)
+		ct[len(ct)-2] = 0
+		ct[len(ct)-1] = nextHeader
+		keymat.CTRXor(sa.block, &sa.ctr, iv, ct, ct)
+	case keymat.SuiteAESCBCSHA256:
+		iv := sa.ivs.derive(sa.block, sa.SPI, sa.seq)
+		copy(body[:aes.BlockSize], iv[:])
+		pt := body[aes.BlockSize:]
 		copy(pt, payload)
+		padLen := len(pt) - len(payload) - 2
 		for i := 0; i < padLen; i++ {
 			pt[len(payload)+i] = byte(i + 1) // RFC 4303 monotonic padding
 		}
 		pt[len(pt)-2] = byte(padLen)
-		pt[len(pt)-1] = 59
-		ct := make([]byte, len(pt))
-		cipher.NewCBCEncrypter(sa.block, iv).CryptBlocks(ct, pt)
-		body = append(iv, ct...)
-	default:
-		return nil, keymat.ErrUnknownSuite
+		pt[len(pt)-1] = nextHeader
+		mode := sa.cbc
+		if mode != nil {
+			mode.(ivSetter).SetIV(iv[:])
+		} else {
+			mode = cipher.NewCBCEncrypter(sa.block, iv[:])
+		}
+		mode.CryptBlocks(pt, pt)
 	}
-	pkt := make([]byte, HeaderLen+len(body)+ICVLen)
-	binary.BigEndian.PutUint32(pkt[0:], sa.SPI)
-	binary.BigEndian.PutUint32(pkt[4:], sa.seq)
-	copy(pkt[HeaderLen:], body)
-	m := hmac.New(sha256.New, sa.mac)
-	m.Write(pkt[:HeaderLen+len(body)])
-	copy(pkt[HeaderLen+len(body):], m.Sum(nil)[:ICVLen])
+	sa.mac.Reset()
+	sa.mac.Write(pkt[:HeaderLen+bl])
+	copy(pkt[HeaderLen+bl:], sa.mac.SumTrunc(ICVLen))
 	sa.Packets++
 	sa.Bytes += uint64(len(payload))
-	return pkt, nil
+	return dst, nil
 }
 
-// Open verifies, replay-checks and decrypts an ESP packet, returning the
-// payload.
-func (sa *InboundSA) Open(pkt []byte) ([]byte, error) {
+// Seal encrypts and authenticates payload, producing a full ESP packet in
+// a freshly allocated buffer. It is a thin wrapper over SealAppend.
+func (sa *OutboundSA) Seal(payload []byte) ([]byte, error) {
+	return sa.SealAppend(nil, payload)
+}
+
+// OpenAppend verifies, replay-checks and decrypts an ESP packet,
+// appending the recovered payload to dst and returning the extended
+// slice. With a dst whose capacity already fits the payload, the CTR and
+// NULL suites allocate nothing. pkt and dst must not overlap; pkt is not
+// modified.
+func (sa *InboundSA) OpenAppend(dst, pkt []byte) ([]byte, error) {
 	if len(pkt) < HeaderLen+ICVLen {
 		return nil, ErrShort
 	}
@@ -191,21 +309,23 @@ func (sa *InboundSA) Open(pkt []byte) ([]byte, error) {
 	}
 	body := pkt[HeaderLen : len(pkt)-ICVLen]
 	icv := pkt[len(pkt)-ICVLen:]
-	m := hmac.New(sha256.New, sa.mac)
-	m.Write(pkt[:len(pkt)-ICVLen])
-	if !hmac.Equal(icv, m.Sum(nil)[:ICVLen]) {
+	sa.mac.Reset()
+	sa.mac.Write(pkt[:len(pkt)-ICVLen])
+	if !sa.mac.VerifyTrunc(icv, ICVLen) {
 		sa.AuthFails++
 		return nil, ErrAuth
 	}
 	var pt []byte
 	switch sa.suite {
 	case keymat.SuiteNullSHA256:
-		pt = append([]byte(nil), body...)
+		// The authenticated body is parsed in place; the single copy into
+		// dst happens below, once the padding is validated.
+		pt = body
 	case keymat.SuiteAESCTRSHA256:
-		if len(body) < 8 {
+		if len(body) < 8+2 {
 			return nil, ErrShort
 		}
-		iv := deriveIV(sa.block, sa.SPI, seq)
+		iv := sa.ivs.derive(sa.block, sa.SPI, seq)
 		// Wire carries the first 8 bytes of the derived IV as a
 		// consistency check.
 		for i := 0; i < 8; i++ {
@@ -215,16 +335,26 @@ func (sa *InboundSA) Open(pkt []byte) ([]byte, error) {
 			}
 		}
 		ct := body[8:]
-		pt = make([]byte, len(ct))
-		cipher.NewCTR(sa.block, iv).XORKeyStream(pt, ct)
+		var region []byte
+		dst, region = ensure(dst, len(ct))
+		keymat.CTRXor(sa.block, &sa.ctr, iv, region, ct)
+		pt = region
 	case keymat.SuiteAESCBCSHA256:
 		if len(body) < aes.BlockSize || (len(body)-aes.BlockSize)%aes.BlockSize != 0 || len(body) == aes.BlockSize {
 			return nil, ErrShort
 		}
 		iv := body[:aes.BlockSize]
 		ct := body[aes.BlockSize:]
-		pt = make([]byte, len(ct))
-		cipher.NewCBCDecrypter(sa.block, iv).CryptBlocks(pt, ct)
+		var region []byte
+		dst, region = ensure(dst, len(ct))
+		mode := sa.cbc
+		if mode != nil {
+			mode.(ivSetter).SetIV(iv)
+		} else {
+			mode = cipher.NewCBCDecrypter(sa.block, iv)
+		}
+		mode.CryptBlocks(region, ct)
+		pt = region
 	default:
 		return nil, keymat.ErrUnknownSuite
 	}
@@ -232,20 +362,34 @@ func (sa *InboundSA) Open(pkt []byte) ([]byte, error) {
 		return nil, ErrPad
 	}
 	padLen := int(pt[len(pt)-2])
-	if len(pt)-2-padLen < 0 {
+	n := len(pt) - 2 - padLen
+	if n < 0 {
 		return nil, ErrPad
 	}
 	// Verify RFC 4303 monotonic padding bytes.
 	for i := 0; i < padLen; i++ {
-		if pt[len(pt)-2-padLen+i] != byte(i+1) {
+		if pt[n+i] != byte(i+1) {
 			return nil, ErrPad
 		}
 	}
-	payload := pt[:len(pt)-2-padLen]
+	if sa.suite == keymat.SuiteNullSHA256 {
+		dst, _ = ensure(dst, n)
+		copy(dst[len(dst)-n:], pt[:n])
+	} else {
+		// Shrink the appended region to the payload (drop pad+trailer).
+		dst = dst[:len(dst)-len(pt)+n]
+	}
 	sa.replayAdvance(seq)
 	sa.Packets++
-	sa.Bytes += uint64(len(payload))
-	return append([]byte(nil), payload...), nil
+	sa.Bytes += uint64(n)
+	return dst, nil
+}
+
+// Open verifies, replay-checks and decrypts an ESP packet, returning the
+// payload in a freshly allocated buffer. It is a thin wrapper over
+// OpenAppend.
+func (sa *InboundSA) Open(pkt []byte) ([]byte, error) {
+	return sa.OpenAppend(nil, pkt)
 }
 
 // replayCheck reports whether seq is acceptable (not seen, not too old).

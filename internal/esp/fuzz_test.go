@@ -1,30 +1,110 @@
 package esp
 
 import (
+	"bytes"
 	"net/netip"
 	"testing"
 
 	"hipcloud/internal/keymat"
 )
 
-// FuzzOpen feeds arbitrary packets to the inbound SA: it must never panic
-// and must never accept anything it did not seal.
-func FuzzOpen(f *testing.F) {
+// fuzzKeys derives matched outbound/inbound association keys for a suite,
+// deterministic so sealed corpus entries stay valid across runs.
+func fuzzKeys(s keymat.Suite) (keymat.AssociationKeys, keymat.AssociationKeys) {
 	hitI := netip.MustParseAddr("2001:10::1")
 	hitR := netip.MustParseAddr("2001:10::2")
 	ki := keymat.New([]byte("dh"), hitI, hitR, 1, 2)
 	kr := keymat.New([]byte("dh"), hitI, hitR, 1, 2)
-	ak, _ := keymat.DeriveAssociation(ki, keymat.SuiteAESCTRSHA256, true)
-	bk, _ := keymat.DeriveAssociation(kr, keymat.SuiteAESCTRSHA256, false)
+	ak, _ := keymat.DeriveAssociation(ki, s, true)
+	bk, _ := keymat.DeriveAssociation(kr, s, false)
+	return ak, bk
+}
+
+// FuzzOpen feeds arbitrary packets to the inbound SA: it must never panic
+// and must never accept anything it did not seal. The corpus seeds valid
+// packets for every suite plus truncations at each wire-format boundary
+// (mid-header, mid-IV, mid-ciphertext, mid-ICV).
+func FuzzOpen(f *testing.F) {
+	ak, bk := fuzzKeys(keymat.SuiteAESCTRSHA256)
 	out, _ := NewOutbound(200, ak.Suite, ak.ESPEncOut, ak.ESPAuthOut)
 	good, _ := out.Seal([]byte("seed packet"))
 	f.Add(good)
 	f.Add([]byte{})
+	// Truncations at every structural boundary of a valid CTR packet:
+	// 0 | mid-SPI | after SPI | after seq | mid-IV | after IV |
+	// mid-ct | before ICV | mid-ICV | full-1.
+	for _, cut := range []int{
+		0, 2, 4, HeaderLen, HeaderLen + 4, HeaderLen + 8,
+		HeaderLen + 10, len(good) - ICVLen, len(good) - 8, len(good) - 1,
+	} {
+		f.Add(append([]byte(nil), good[:cut]...))
+	}
+	// Valid packets from the other suites (wrong SPI/keys here, but they
+	// exercise suite-specific length arithmetic in the parser).
+	for _, s := range []keymat.Suite{keymat.SuiteAESCBCSHA256, keymat.SuiteNullSHA256} {
+		oak, _ := fuzzKeys(s)
+		o, _ := NewOutbound(200, oak.Suite, oak.ESPEncOut, oak.ESPAuthOut)
+		p, _ := o.Seal([]byte("other suite"))
+		f.Add(p)
+		f.Add(append([]byte(nil), p[:len(p)-1]...))
+	}
+	// Header present, degenerate bodies.
+	hdr := append([]byte(nil), good[:HeaderLen]...)
+	f.Add(append(append([]byte(nil), hdr...), bytes.Repeat([]byte{0}, ICVLen)...))
+	f.Add(append(append([]byte(nil), hdr...), bytes.Repeat([]byte{0}, ICVLen+1)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		in, _ := NewInbound(200, bk.Suite, bk.ESPEncIn, bk.ESPAuthIn)
 		payload, err := in.Open(data)
 		if err == nil && string(payload) != "seed packet" {
 			t.Fatalf("inbound SA accepted forged packet: %q", payload)
+		}
+	})
+}
+
+// FuzzSealOpenRoundTrip drives the append-style APIs with arbitrary
+// payloads and dst prefixes on every suite: SealAppend followed by
+// OpenAppend must return the exact payload, never panic, and never
+// disturb bytes already in the destination buffers.
+func FuzzSealOpenRoundTrip(f *testing.F) {
+	f.Add([]byte(""), uint8(0))
+	f.Add([]byte("x"), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xAB}, 15), uint8(2))
+	f.Add(bytes.Repeat([]byte{0xCD}, 16), uint8(0))
+	f.Add(bytes.Repeat([]byte{0xEF}, 1400), uint8(7))
+	f.Fuzz(func(t *testing.T, payload []byte, prefixLen uint8) {
+		for _, s := range []keymat.Suite{
+			keymat.SuiteAESCTRSHA256, keymat.SuiteAESCBCSHA256, keymat.SuiteNullSHA256,
+		} {
+			ak, bk := fuzzKeys(s)
+			out, err := NewOutbound(200, ak.Suite, ak.ESPEncOut, ak.ESPAuthOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := NewInbound(200, bk.Suite, bk.ESPEncIn, bk.ESPAuthIn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix := bytes.Repeat([]byte{0x55}, int(prefixLen))
+			dst := append([]byte(nil), prefix...)
+			dst, err = out.SealAppend(dst, payload)
+			if err != nil {
+				t.Fatalf("%v seal: %v", s, err)
+			}
+			if !bytes.Equal(dst[:len(prefix)], prefix) {
+				t.Fatalf("%v: SealAppend disturbed dst prefix", s)
+			}
+			pkt := dst[len(prefix):]
+			got := append([]byte(nil), prefix...)
+			got, err = in.OpenAppend(got, pkt)
+			if err != nil {
+				t.Fatalf("%v open: %v", s, err)
+			}
+			if !bytes.Equal(got[:len(prefix)], prefix) {
+				t.Fatalf("%v: OpenAppend disturbed dst prefix", s)
+			}
+			if !bytes.Equal(got[len(prefix):], payload) {
+				t.Fatalf("%v: round-trip payload mismatch (len=%d)", s, len(payload))
+			}
 		}
 	})
 }

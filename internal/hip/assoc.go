@@ -89,6 +89,13 @@ func (a *Association) cancelRetrans() {
 // byLSI notes that the application addressed the peer via an LSI, charging
 // the extra translation cost the paper measures.
 func (h *Host) SealData(peerHIT netip.Addr, payload []byte, byLSI bool) (pkt []byte, dst netip.Addr, err error) {
+	return h.SealDataAppend(nil, peerHIT, payload, byLSI)
+}
+
+// SealDataAppend is SealData writing the ESP packet into dst's spare
+// capacity (esp.SealAppend semantics): with a caller-recycled dst it
+// performs no allocation on the data path.
+func (h *Host) SealDataAppend(dst []byte, peerHIT netip.Addr, payload []byte, byLSI bool) (pkt []byte, dstLoc netip.Addr, err error) {
 	a, ok := h.assocs[peerHIT]
 	if !ok {
 		return nil, netip.Addr{}, ErrNoAssociation
@@ -96,7 +103,7 @@ func (h *Host) SealData(peerHIT netip.Addr, payload []byte, byLSI bool) (pkt []b
 	if a.state != Established && a.state != Closing {
 		return nil, netip.Addr{}, ErrNotEstablished
 	}
-	pkt, err = a.espPair.Out.Seal(payload)
+	pkt, err = a.espPair.Out.SealAppend(dst, payload)
 	if err != nil {
 		return nil, netip.Addr{}, err
 	}
@@ -111,6 +118,12 @@ func (h *Host) SealData(peerHIT netip.Addr, payload []byte, byLSI bool) (pkt []b
 // OpenData authenticates and decrypts an inbound ESP packet, demuxing by
 // SPI. It returns the payload and the peer HIT it arrived from.
 func (h *Host) OpenData(pkt []byte, byLSI bool) (payload []byte, peerHIT netip.Addr, err error) {
+	return h.OpenDataAppend(nil, pkt, byLSI)
+}
+
+// OpenDataAppend is OpenData appending the decrypted payload to dst
+// (esp.OpenAppend semantics); it returns dst with the payload appended.
+func (h *Host) OpenDataAppend(dst, pkt []byte, byLSI bool) (payload []byte, peerHIT netip.Addr, err error) {
 	if len(pkt) < esp.HeaderLen {
 		return nil, netip.Addr{}, esp.ErrShort
 	}
@@ -120,16 +133,17 @@ func (h *Host) OpenData(pkt []byte, byLSI bool) (payload []byte, peerHIT netip.A
 		h.PacketsDropped++
 		return nil, netip.Addr{}, esp.ErrUnknownSPI
 	}
-	payload, err = a.espPair.In.Open(pkt)
+	payload, err = a.espPair.In.OpenAppend(dst, pkt)
 	if err != nil {
 		h.PacketsDropped++
 		return nil, netip.Addr{}, err
 	}
-	h.cost += h.cfg.Costs.Symmetric(len(payload)) + h.cfg.Costs.ShimPerPacket
+	n := len(payload) - len(dst)
+	h.cost += h.cfg.Costs.Symmetric(n) + h.cfg.Costs.ShimPerPacket
 	if byLSI {
 		h.cost += h.cfg.Costs.LSITranslation
 	}
-	a.DataRcvd += uint64(len(payload))
+	a.DataRcvd += uint64(n)
 	return payload, a.PeerHIT, nil
 }
 

@@ -82,7 +82,12 @@ func (r *Registry) LSI(hit netip.Addr) netip.Addr {
 	return lsi
 }
 
-// Inner payload types carried inside ESP.
+// Inner payload types carried inside ESP. The type byte rides as a
+// TRAILER (last plaintext byte) rather than a prefix: the stream body
+// handed upward is then a prefix sub-slice of the pooled decrypt buffer,
+// keeping its full capacity so the stack can recycle it into the right
+// netsim pool class. The framing is internal to this package (hipudp has
+// its own), so both ends always agree.
 const (
 	innerStream byte = 1
 	innerEchoRq byte = 2
@@ -196,34 +201,48 @@ func (f *Fabric) onControl(src netip.Addr, payload []byte) {
 
 // onData decrypts an inbound ESP packet and routes the inner payload
 // (scheduler context; decode cost is handed to the consumer as debt).
+// The wire packet and, unless it is delivered upward, the decrypt buffer
+// are recycled into the netsim buffer pool here.
 func (f *Fabric) onData(src netip.Addr, raw []byte) {
 	if f.closed {
 		return
 	}
-	payload, peerHIT, err := f.host.OpenData(raw, false)
+	buf := netsim.GetBuf(len(raw))[:0]
+	payload, peerHIT, err := f.host.OpenDataAppend(buf, raw, false)
+	// The wire packet is dead once decrypted (or rejected): this fabric
+	// is the packet's terminal consumer, so recycle the buffer the
+	// sender drew from the pool.
+	netsim.PutBuf(raw)
 	cost := f.host.TakeCost()
 	if err == nil && f.lsiPeers[peerHIT] {
 		cost += f.host.LSIPenalty()
 	}
 	if err != nil {
+		netsim.PutBuf(buf)
 		f.debt += cost
 		f.wakeQ.WakeOne()
 		return
 	}
 	if len(payload) == 0 {
+		netsim.PutBuf(buf)
 		return
 	}
-	inner, body := payload[0], payload[1:]
+	inner, body := payload[len(payload)-1], payload[:len(payload)-1]
 	switch inner {
 	case innerStream:
 		if f.deliver != nil {
+			// Ownership of the decrypt buffer moves to the stack, which
+			// recycles it after the stream core consumes the segment.
 			f.deliver(peerHIT, body, cost)
+		} else {
+			netsim.PutBuf(buf)
 		}
 	case innerEchoRq:
 		// Echo handling models processing latency directly: open + seal
 		// (and LSI translation) delay the reply on the wire, as they do
 		// for a real ping through the shim.
-		reply := append([]byte{innerEchoRp}, body...)
+		reply := append(append([]byte(nil), body...), innerEchoRp)
+		netsim.PutBuf(buf)
 		out, dst, serr := f.host.SealData(peerHIT, reply, f.lsiPeers[peerHIT])
 		total := cost + f.host.TakeCost()
 		if serr == nil {
@@ -244,6 +263,9 @@ func (f *Fabric) onData(src netip.Addr, raw []byte) {
 				})
 			}
 		}
+		netsim.PutBuf(buf)
+	default:
+		netsim.PutBuf(buf)
 	}
 }
 
@@ -377,14 +399,23 @@ func (f *Fabric) flushFromProc(p *netsim.Proc) {
 }
 
 // Send seals one stream segment for the peer. Called by the simtcp pump.
+// It takes ownership of data (simtcp.Fabric): the wire unit is recycled
+// once sealed, and the ESP packet travels in a pooled buffer that the
+// receiving fabric recycles after decryption.
 func (f *Fabric) Send(peer netip.Addr, data []byte) (time.Duration, error) {
 	hit, _, byLSI, err := f.reg.Resolve(peer)
 	if err != nil {
+		netsim.PutBuf(data)
 		return 0, err
 	}
-	payload := append([]byte{innerStream}, data...)
-	out, dst, err := f.host.SealData(hit, payload, byLSI || f.lsiPeers[hit])
+	// Trailer framing: the type byte lands in the wire buffer's spare
+	// pool-class capacity, so this append does not allocate.
+	payload := append(data, innerStream)
+	out, dst, err := f.host.SealDataAppend(
+		netsim.GetBuf(len(payload)+esp.MaxOverhead)[:0],
+		hit, payload, byLSI || f.lsiPeers[hit])
 	cost := f.host.TakeCost()
+	netsim.PutBuf(data)
 	if err != nil {
 		return cost, err
 	}
@@ -413,9 +444,11 @@ func (f *Fabric) Ping(p *netsim.Proc, peer netip.Addr, size int, timeout time.Du
 	if size < 9 {
 		size = 9
 	}
+	// Echo layout under trailer framing: id in the first 8 bytes, zero
+	// padding, type byte last.
 	body := make([]byte, size)
-	body[0] = innerEchoRq
-	putUint64(body[1:9], id)
+	putUint64(body[0:8], id)
+	body[size-1] = innerEchoRq
 	w := &echoWait{wq: netsim.NewWaitQueue(f.node.Net().Sim()), sent: p.Now()}
 	f.echoes[id] = w
 	defer delete(f.echoes, id)

@@ -345,6 +345,10 @@ func (nd *Node) transmit(via *Iface, pkt *Packet) {
 	s.At(arrival, deliver)
 	if l.DupProb > 0 && s.rng.Float64() < l.DupProb {
 		dup := *pkt
+		// The duplicate needs its own payload: receivers may recycle a
+		// packet's body into the buffer pool after consuming it, and two
+		// deliveries of one backing array would double-free it.
+		dup.Payload = append([]byte(nil), pkt.Payload...)
 		s.At(arrival+time.Microsecond, func() { peer.node.receive(peer, &dup) })
 	}
 	nd.net.trace(TraceTx, nd, pkt, via.addr.String())

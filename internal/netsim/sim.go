@@ -13,7 +13,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -30,24 +29,59 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a typed binary min-heap of events ordered by (at, seq).
+// It replaces container/heap to keep *event values out of interface{}
+// boxing — the scheduler's push/pop are the hottest calls in a busy
+// simulation — and to allow the Sim's event freelist to recycle nodes.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	// Sift up.
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	root := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return root
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
 }
 
 // Sim is a discrete-event simulation. The zero value is not usable; create
@@ -55,6 +89,7 @@ func (h *eventHeap) Pop() interface{} {
 type Sim struct {
 	now    VTime
 	queue  eventHeap
+	free   []*event // recycled event nodes; no caller retains a fired *event
 	seq    uint64
 	rng    *rand.Rand
 	sched  chan struct{} // control returned to scheduler
@@ -82,14 +117,24 @@ func (s *Sim) Now() VTime { return s.now }
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // At schedules fn to run at virtual time t (clamped to now). It may be
-// called from scheduler context (events, process code).
+// called from scheduler context (events, process code). The returned
+// event is owned by the scheduler and recycled after it fires; callers
+// must not retain it.
 func (s *Sim) At(t VTime, fn func()) *event {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, ev)
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, s.seq, fn
+	} else {
+		ev = &event{at: t, seq: s.seq, fn: fn}
+	}
+	s.queue.push(ev)
 	return ev
 }
 
@@ -100,16 +145,21 @@ func (s *Sim) After(d VTime, fn func()) *event { return s.At(s.now+d, fn) }
 // no runnable process remains. It returns the virtual time reached.
 func (s *Sim) Run(horizon VTime) VTime {
 	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
+		ev := s.queue.pop()
 		if horizon > 0 && ev.at > horizon {
 			s.now = horizon
 			// Push back so a later Run can continue.
-			heap.Push(&s.queue, ev)
+			s.queue.push(ev)
 			break
 		}
 		s.now = ev.at
-		if ev.fn != nil {
-			ev.fn()
+		fn := ev.fn
+		// Recycle before firing: fn only sees the freelist, never ev, so
+		// a reschedule inside fn may legitimately reuse this node.
+		ev.fn = nil
+		s.free = append(s.free, ev)
+		if fn != nil {
+			fn()
 		}
 	}
 	return s.now

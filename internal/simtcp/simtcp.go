@@ -47,10 +47,15 @@ type Fabric interface {
 	Establish(p *netsim.Proc, peer netip.Addr) error
 	// Send transmits one wire unit to the peer and returns the CPU cost
 	// the stack should charge for it. Called from the pump process.
+	// Send takes ownership of data: the fabric (or the network it hands
+	// the buffer to) may recycle it into netsim's buffer pool, so the
+	// caller must not touch data afterwards.
 	Send(peer netip.Addr, data []byte) (cost time.Duration, err error)
 	// Attach gives the fabric its delivery callback: inbound wire units
 	// are passed to deliver together with their decode CPU cost.
-	// deliver must be called in scheduler context.
+	// deliver must be called in scheduler context and transfers ownership
+	// of data to the stack, which recycles it via netsim.PutBuf once the
+	// stream core has consumed the segment.
 	Attach(deliver func(peer netip.Addr, data []byte, cost time.Duration))
 }
 
@@ -82,6 +87,10 @@ type Stack struct {
 	closed bool
 }
 
+// inSeg holds one delivered wire unit. data is the FULL buffer including
+// the mux header — keeping the original slice (not a sub-slice) preserves
+// its capacity so PutBuf returns it to the right pool class after the
+// segment is consumed.
 type inSeg struct {
 	key  connKey
 	data []byte
@@ -119,7 +128,7 @@ func (s *Stack) deliver(peer netip.Addr, data []byte, cost time.Duration) {
 	localPort := binary.BigEndian.Uint16(data[2:])
 	key := connKey{peer: peer, localPort: localPort, remotePort: remotePort}
 	s.debt += cost + s.node.PerPacketCPU()
-	s.pending = append(s.pending, inSeg{key: key, data: data[muxHeader:]})
+	s.pending = append(s.pending, inSeg{key: key, data: data})
 	s.wakeQ.WakeOne()
 }
 
@@ -141,6 +150,9 @@ func (s *Stack) pump(p *netsim.Proc) {
 			in := s.pending[0]
 			s.pending = s.pending[1:]
 			s.handleSegment(p, in)
+			// The stream core copies everything it keeps out of the
+			// segment, so the wire buffer can be recycled now.
+			netsim.PutBuf(in.data)
 		}
 		// Outbound for dirty conns.
 		for c := range s.dirty {
@@ -185,7 +197,7 @@ func (s *Stack) pump(p *netsim.Proc) {
 
 // handleSegment routes an inbound segment to a conn or listener.
 func (s *Stack) handleSegment(p *netsim.Proc, in inSeg) {
-	seg, err := stream.ParseSegment(in.data)
+	seg, err := stream.ParseSegment(in.data[muxHeader:])
 	if err != nil {
 		return
 	}
@@ -213,10 +225,13 @@ func (s *Stack) flush(p *netsim.Proc, c *Conn) {
 	segs, deadline := c.inner.Poll(p.Now())
 	var cost time.Duration
 	for _, seg := range segs {
-		wire := make([]byte, muxHeader+stream.HeaderSize+len(seg.Payload))
+		wire := netsim.GetBuf(muxHeader + stream.HeaderSize + len(seg.Payload))
 		binary.BigEndian.PutUint16(wire[0:], c.key.localPort)
 		binary.BigEndian.PutUint16(wire[2:], c.key.remotePort)
-		copy(wire[muxHeader:], seg.Marshal())
+		seg.MarshalInto(wire[muxHeader:])
+		// The payload was drawn from the pool by the stream core
+		// (Config.Pool below); it is dead once marshaled onto the wire.
+		netsim.PutBuf(seg.Payload)
 		sc, err := s.fabric.Send(c.key.peer, wire)
 		if err != nil {
 			c.inner.Abort()
@@ -247,7 +262,7 @@ func (s *Stack) newConn(key connKey) *Conn {
 	c := &Conn{
 		stack: s,
 		key:   key,
-		inner: stream.New(stream.Config{}, uint32(s.sim.Rand().Int63())),
+		inner: stream.New(stream.Config{Pool: netsim.BufPool{}}, uint32(s.sim.Rand().Int63())),
 		rq:    netsim.NewWaitQueue(s.sim),
 		wq:    netsim.NewWaitQueue(s.sim),
 	}

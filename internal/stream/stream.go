@@ -71,12 +71,26 @@ var (
 	ErrEOF    = errors.New("stream: end of stream")
 )
 
+// BufferPool recycles payload buffers for emitted segments. Drivers that
+// install one (netsim.BufPool) take ownership of Segment.Payload slices
+// drained by Poll and must return each to the pool once marshaled onto the
+// wire; with a nil pool, payloads are plain allocations left to the GC.
+type BufferPool interface {
+	// Get returns a length-n buffer with undefined contents.
+	Get(n int) []byte
+	// Put recycles a buffer previously returned by Get.
+	Put(b []byte)
+}
+
 // Config tunes a connection.
 type Config struct {
 	MSS        int
 	Window     int // receive window advertised to the peer
 	SendBuf    int // local send buffer bound
 	InitialRTO time.Duration
+	// Pool, when non-nil, supplies payload buffers for outgoing segments;
+	// see BufferPool for the ownership contract.
+	Pool BufferPool
 	// Now is the connection's epoch; segments timestamps are durations
 	// from an arbitrary zero maintained by the driver.
 }
@@ -169,13 +183,20 @@ const HeaderSize = 14
 // Marshal encodes the segment.
 func (s Segment) Marshal() []byte {
 	b := make([]byte, HeaderSize+len(s.Payload))
+	s.MarshalInto(b)
+	return b
+}
+
+// MarshalInto encodes the segment into b, which must be at least
+// HeaderSize+len(s.Payload) bytes; drivers use it to build wire units in
+// pooled buffers without the intermediate Marshal allocation.
+func (s Segment) MarshalInto(b []byte) {
 	b[0] = s.Flags
 	b[1] = 0
 	be32(b[2:], s.Seq)
 	be32(b[6:], s.Ack)
 	be32(b[10:], s.Window)
 	copy(b[HeaderSize:], s.Payload)
-	return b
 }
 
 // ParseSegment decodes a segment; it errors on short input.
@@ -342,6 +363,17 @@ func (c *Conn) MaybeWindowUpdate() bool {
 	}
 	c.emit(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
 	return true
+}
+
+// payloadCopy snapshots b into a buffer the emitted segment owns — from
+// the configured pool when there is one, else a fresh allocation.
+func (c *Conn) payloadCopy(b []byte) []byte {
+	if c.cfg.Pool != nil {
+		p := c.cfg.Pool.Get(len(b))
+		copy(p, b)
+		return p
+	}
+	return append([]byte(nil), b...)
 }
 
 func (c *Conn) rcvWindow() uint32 {
@@ -677,7 +709,7 @@ func (c *Conn) retransmit(now time.Duration) {
 	if n <= 0 {
 		return
 	}
-	payload := append([]byte(nil), c.sndBuf[:n]...)
+	payload := c.payloadCopy(c.sndBuf[:n])
 	c.emit(Segment{Flags: FlagACK, Seq: c.sndUna, Ack: c.rcvNxt, Payload: payload})
 	c.armRTO(now)
 }
@@ -715,7 +747,7 @@ func (c *Conn) packetize(now time.Duration) {
 		if n > wnd {
 			n = wnd
 		}
-		payload := append([]byte(nil), c.sndBuf[unsentStart:unsentStart+n]...)
+		payload := c.payloadCopy(c.sndBuf[unsentStart : unsentStart+n])
 		seg := Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Payload: payload}
 		if !c.rttTiming {
 			c.rttTiming = true

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hipcloud/internal/identity"
+	"hipcloud/internal/keymat"
 )
 
 // Stream is the byte transport the channel runs over.
@@ -102,15 +103,32 @@ func (c *Config) charge(d time.Duration) {
 }
 
 // Conn is an established secure channel.
+//
+// Like net.Conn, one Read and one Write may run concurrently, but the
+// record layer keeps per-direction scratch, so multiple simultaneous
+// Reads (or Writes) are not safe.
 type Conn struct {
 	stream Stream
+	rd     io.Reader // stream adapted to io.Reader, cached once
 	cfg    Config
 
 	outSeq, inSeq uint64
 	outEnc, inEnc cipher.Block
-	outMac, inMac []byte
+	// Cached keyed HMAC states, reset-reused per record (the keyed pads
+	// are computed once here instead of hmac.New per record).
+	outMAC, inMAC *keymat.MAC
+	// Per-direction CTR keystream and IV scratch. The arrays cross the
+	// cipher.Block interface, so they live on the (heap-resident) Conn to
+	// keep the per-record path allocation-free.
+	outCTR, inCTR   keymat.CTRScratch
+	outIV, inIV     [16]byte
+	outSeqB, inSeqB [8]byte
 
-	rbuf   []byte // decrypted application bytes
+	wbuf []byte // reusable wire buffer for outgoing records
+	rrec []byte // reusable buffer holding the current incoming record
+	rhdr [3]byte
+	rbuf []byte // unread decrypted bytes; aliases rrec
+
 	peer   *identity.PublicID
 	closed bool
 }
@@ -464,66 +482,100 @@ func newConn(s Stream, cfg Config, cliEnc, cliMac, srvEnc, srvMac []byte, isClie
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{stream: s, cfg: cfg, peer: peer}
+	c := &Conn{stream: s, rd: readerOf(s), cfg: cfg, peer: peer}
 	if isClient {
-		c.outEnc, c.outMac = ce, cliMac
-		c.inEnc, c.inMac = se, srvMac
+		c.outEnc, c.outMAC = ce, keymat.NewMAC(cliMac)
+		c.inEnc, c.inMAC = se, keymat.NewMAC(srvMac)
 	} else {
-		c.outEnc, c.outMac = se, srvMac
-		c.inEnc, c.inMac = ce, cliMac
+		c.outEnc, c.outMAC = se, keymat.NewMAC(srvMac)
+		c.inEnc, c.inMAC = ce, keymat.NewMAC(cliMac)
 	}
 	return c, nil
 }
 
 const macLen = 16
 
-// sealRecord encrypts and MACs one application record.
-func (c *Conn) sealRecord(plain []byte) []byte {
+// ensure grows b by n bytes, reallocating only when capacity is short,
+// and returns the grown slice.
+func ensure(b []byte, n int) []byte {
+	off := len(b)
+	if cap(b)-off < n {
+		nb := make([]byte, off+n, off+n+(off+n)/2)
+		copy(nb, b)
+		return nb
+	}
+	return b[:off+n]
+}
+
+// deriveRecordIV writes the per-record IV (encrypted big-endian sequence
+// number, matching the original wire format) into the conn-owned array.
+func deriveRecordIV(enc cipher.Block, iv *[16]byte, seq uint64) {
+	binary.BigEndian.PutUint64(iv[:8], seq)
+	for i := 8; i < 16; i++ {
+		iv[i] = 0
+	}
+	enc.Encrypt(iv[:], iv[:])
+}
+
+// sealRecordAppend encrypts and MACs one application record, appending
+// ciphertext||tag to dst and returning the extended slice. With a dst
+// whose capacity already fits the record, it allocates nothing.
+func (c *Conn) sealRecordAppend(dst, plain []byte) []byte {
 	c.outSeq++
-	var iv [16]byte
-	binary.BigEndian.PutUint64(iv[:8], c.outSeq)
-	c.outEnc.Encrypt(iv[:], iv[:])
-	ct := make([]byte, len(plain))
-	cipher.NewCTR(c.outEnc, iv[:]).XORKeyStream(ct, plain)
-	var seqB [8]byte
-	binary.BigEndian.PutUint64(seqB[:], c.outSeq)
-	m := hmac.New(sha256.New, c.outMac)
-	m.Write(seqB[:])
-	m.Write(ct)
-	out := append(ct, m.Sum(nil)[:macLen]...)
+	deriveRecordIV(c.outEnc, &c.outIV, c.outSeq)
+	off := len(dst)
+	dst = ensure(dst, len(plain)+macLen)
+	ct := dst[off : off+len(plain)]
+	keymat.CTRXor(c.outEnc, &c.outCTR, &c.outIV, ct, plain)
+	binary.BigEndian.PutUint64(c.outSeqB[:], c.outSeq)
+	c.outMAC.Reset()
+	c.outMAC.Write(c.outSeqB[:])
+	c.outMAC.Write(ct)
+	copy(dst[off+len(plain):], c.outMAC.SumTrunc(macLen))
 	c.cfg.charge(c.cfg.Costs.symmetric(len(plain)))
-	return out
+	return dst
+}
+
+// sealRecord encrypts and MACs one application record into a fresh
+// buffer. It is a thin wrapper over sealRecordAppend.
+func (c *Conn) sealRecord(plain []byte) []byte {
+	return c.sealRecordAppend(nil, plain)
 }
 
 func (cst Costs) symmetric(n int) time.Duration {
 	return time.Duration(cst.SymmetricNsPerByte * float64(n))
 }
 
-// openRecord verifies and decrypts one record body.
-func (c *Conn) openRecord(body []byte) ([]byte, error) {
+// openRecordInPlace verifies one record body and decrypts it in place,
+// returning the plaintext as a prefix of body. It allocates nothing.
+func (c *Conn) openRecordInPlace(body []byte) ([]byte, error) {
 	if len(body) < macLen {
 		return nil, ErrBadRecord
 	}
 	ct, tag := body[:len(body)-macLen], body[len(body)-macLen:]
 	c.inSeq++
-	var seqB [8]byte
-	binary.BigEndian.PutUint64(seqB[:], c.inSeq)
-	m := hmac.New(sha256.New, c.inMac)
-	m.Write(seqB[:])
-	m.Write(ct)
-	if !hmac.Equal(tag, m.Sum(nil)[:macLen]) {
+	binary.BigEndian.PutUint64(c.inSeqB[:], c.inSeq)
+	c.inMAC.Reset()
+	c.inMAC.Write(c.inSeqB[:])
+	c.inMAC.Write(ct)
+	if !c.inMAC.VerifyTrunc(tag, macLen) {
 		return nil, ErrBadMAC
 	}
-	var iv [16]byte
-	binary.BigEndian.PutUint64(iv[:8], c.inSeq)
-	c.inEnc.Encrypt(iv[:], iv[:])
-	pt := make([]byte, len(ct))
-	cipher.NewCTR(c.inEnc, iv[:]).XORKeyStream(pt, ct)
-	c.cfg.charge(c.cfg.Costs.symmetric(len(pt)))
-	return pt, nil
+	deriveRecordIV(c.inEnc, &c.inIV, c.inSeq)
+	keymat.CTRXor(c.inEnc, &c.inCTR, &c.inIV, ct, ct)
+	c.cfg.charge(c.cfg.Costs.symmetric(len(ct)))
+	return ct, nil
 }
 
-// Write encrypts and sends b, fragmenting into records.
+// openRecord verifies and decrypts one record body without modifying it,
+// returning the plaintext in a fresh buffer.
+func (c *Conn) openRecord(body []byte) ([]byte, error) {
+	return c.openRecordInPlace(append([]byte(nil), body...))
+}
+
+// Write encrypts and sends b, fragmenting into records. The wire record
+// (header, ciphertext, tag) is assembled in a reusable conn-owned buffer,
+// so steady-state writes allocate nothing.
 func (c *Conn) Write(b []byte) (int, error) {
 	if c.closed {
 		return 0, ErrClosed
@@ -534,8 +586,11 @@ func (c *Conn) Write(b []byte) (int, error) {
 		if n > maxRecord {
 			n = maxRecord
 		}
-		rec := c.sealRecord(b[:n])
-		if err := writeRecord(c.stream, recAppData, rec); err != nil {
+		c.wbuf = append(c.wbuf[:0], recAppData, 0, 0)
+		c.wbuf = c.sealRecordAppend(c.wbuf, b[:n])
+		rl := len(c.wbuf) - 3
+		c.wbuf[1], c.wbuf[2] = byte(rl>>8), byte(rl)
+		if _, err := c.stream.Write(c.wbuf); err != nil {
 			return total, err
 		}
 		total += n
@@ -544,17 +599,46 @@ func (c *Conn) Write(b []byte) (int, error) {
 	return total, nil
 }
 
-// Read decrypts application data into b.
+// readRecordInto reads one record of the wanted type into the conn-owned
+// record buffer and returns its body (valid until the next call).
+func (c *Conn) readRecordInto(want byte) ([]byte, error) {
+	if _, err := io.ReadFull(c.rd, c.rhdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(c.rhdr[1])<<8 | int(c.rhdr[2])
+	if n > maxRecord+64 {
+		return nil, ErrBadRecord
+	}
+	if cap(c.rrec) < n {
+		c.rrec = make([]byte, n, n+n/4)
+	}
+	body := c.rrec[:n]
+	if _, err := io.ReadFull(c.rd, body); err != nil {
+		return nil, err
+	}
+	if c.rhdr[0] == recAlert {
+		return nil, ErrClosed
+	}
+	if c.rhdr[0] != want {
+		return nil, ErrBadRecord
+	}
+	return body, nil
+}
+
+// Read decrypts application data into b. Records are read into and
+// decrypted within a reusable conn-owned buffer (safe because the next
+// record is only fetched once the previous plaintext is fully drained),
+// so steady-state reads allocate nothing.
 func (c *Conn) Read(b []byte) (int, error) {
 	for len(c.rbuf) == 0 {
 		if c.closed {
 			return 0, ErrClosed
 		}
-		body, err := readRecord(c.stream, recAppData)
+		body, err := c.readRecordInto(recAppData)
 		if err != nil {
 			return 0, err
 		}
-		pt, err := c.openRecord(body)
+		pt, err := c.openRecordInPlace(body)
 		if err != nil {
 			return 0, err
 		}
