@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench-smoke bench
+.PHONY: all check lint vet build test race bench-smoke fuzz-smoke bench
 
 all: check
 
-# The full pre-merge gate: static checks, build, tests (incl. race) and a
-# quick allocation-guard smoke over the crypto fast paths.
-check: vet build test race bench-smoke
+# The full pre-merge gate: the custom analyzer suite, static checks,
+# build, tests (incl. race on the concurrent packages), a quick
+# allocation-guard smoke over the crypto fast paths, and a short fuzz run
+# over the wire-format parsers.
+check: lint vet build test race bench-smoke fuzz-smoke
+
+# hiplint (cmd/hiplint + internal/analysis) machine-checks the DESIGN.md
+# §5a contracts: buffer ownership (bufown), append-API aliasing
+# (appendalias), simulator determinism (simdet), constant-time compares
+# (ctcompare) and lock discipline (lockedsend). Findings are waived only
+# with //lint:allow <check> <reason>.
+lint:
+	$(GO) run ./cmd/hiplint ./...
 
 vet:
 	$(GO) vet ./...
@@ -17,14 +27,37 @@ build:
 test:
 	$(GO) test ./...
 
+# Race detection is scoped to the packages that actually run concurrent
+# goroutines sharing state: netsim (scheduler handoff between process
+# goroutines), simtcp and hipsim (pump/kernel processes over netsim),
+# hipudp (real sockets: reader/timer goroutines vs callers), teredo
+# (tunnel taps in scheduler context) and rubis (request handlers against
+# the shared in-memory DB). Everything else is sans-io single-threaded
+# code already covered by `test`; re-running it under race only slowed
+# the gate.
+RACE_PKGS = ./internal/netsim ./internal/simtcp ./internal/hipsim \
+	./internal/hipudp ./internal/teredo ./internal/rubis
+
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $(RACE_PKGS)
 
 # Fast allocation smoke: the Seal/Record benches report B/op and allocs/op;
 # the AllocsPerRun guard tests (run by `test`) enforce the 0-alloc contract.
 bench-smoke:
 	$(GO) test -run=NONE -bench='Seal|Record' -benchtime=10x -benchmem \
 		./internal/esp ./internal/tlslite ./internal/keymat ./internal/netsim
+
+# Short fuzz pass over every wire-format fuzz target (go test allows one
+# -fuzz pattern per invocation, hence one line per target), so the
+# checked-in corpora and 30 s of fresh inputs run in the gate.
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzOpen$$ -fuzztime=$(FUZZTIME) ./internal/esp
+	$(GO) test -run=NONE -fuzz=FuzzSealOpenRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/esp
+	$(GO) test -run=NONE -fuzz=FuzzReadRequest$$ -fuzztime=$(FUZZTIME) ./internal/microhttp
+	$(GO) test -run=NONE -fuzz=FuzzReadResponse$$ -fuzztime=$(FUZZTIME) ./internal/microhttp
+	$(GO) test -run=NONE -fuzz=FuzzParseMessage$$ -fuzztime=$(FUZZTIME) ./internal/hipdns
 
 # Full benchmark sweep, including the paper-figure reproductions.
 bench:

@@ -1,0 +1,75 @@
+// Command hiplint runs the repo's custom static-analysis suite
+// (internal/analysis) over the given package patterns and exits non-zero
+// on findings. It is wired into `make lint` and the `make check` gate.
+//
+// Usage:
+//
+//	hiplint [-checks bufown,appendalias,...] [-list] [patterns...]
+//
+// Patterns default to ./... and accept directories or module import
+// paths, recursively with /... . Findings print as
+//
+//	file:line:col: [check] message
+//
+// and can be waived at the source line with //lint:allow <check> <reason>
+// (the reason is mandatory; a bare waiver is itself a finding).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hipcloud/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *checks != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*checks, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiplint:", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiplint:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analyzers) {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

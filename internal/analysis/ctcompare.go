@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CTCompare flags variable-time comparisons of authenticator material in
+// the crypto packages: bytes.Equal (and == / != on byte arrays or
+// strings) leaks a timing side channel when one operand is a MAC, ICV,
+// tag, digest or peer-echoed nonce — an attacker who can submit guesses
+// learns a prefix length per probe. Such comparisons must go through
+// hmac.Equal or subtle.ConstantTimeCompare.
+//
+// Heuristic: the comparison sits in a crypto package and either operand's
+// name (rightmost identifier, field or method in the expression) matches
+// the sensitive-name list. Non-secret equality on other data is
+// untouched.
+var CTCompare = &Analyzer{
+	Name: "ctcompare",
+	Doc:  "bytes.Equal or ==/!= on MAC/ICV/tag/digest/nonce values; use hmac.Equal",
+	Run:  runCTCompare,
+}
+
+// cryptoPkgs names the packages handling keys and authenticators, keyed
+// by package name (fixtures re-declare these names under testdata).
+var cryptoPkgs = map[string]bool{
+	"esp": true, "keymat": true, "tlslite": true, "hip": true,
+	"puzzle": true, "identity": true, "secio": true, "hipwire": true,
+}
+
+// sensitiveWords mark a value as authenticator-like when they appear in
+// its name.
+var sensitiveWords = []string{"mac", "icv", "tag", "digest", "sum", "hmac", "nonce", "echo", "finished"}
+
+func isSensitiveName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range sensitiveWords {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprName extracts the rightmost identifier-ish name from an expression:
+// a.echoSent -> "echoSent", mac.Sum(nil) -> "Sum", tag[:n] -> "tag".
+func exprName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return exprName(x.X)
+	case *ast.SliceExpr:
+		return exprName(x.X)
+	case *ast.IndexExpr:
+		return exprName(x.X)
+	case *ast.CallExpr:
+		return exprName(x.Fun)
+	}
+	return ""
+}
+
+func runCTCompare(pass *Pass) {
+	if !cryptoPkgs[pass.Pkg.Name] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, x)
+				if fn == nil || fn.Name() != "Equal" || pkgPathOf(fn) != "bytes" || len(x.Args) != 2 {
+					return true
+				}
+				for _, a := range x.Args {
+					if isSensitiveName(exprName(a)) {
+						pass.Reportf(x.Pos(), "bytes.Equal on %q is variable-time; compare authenticators with hmac.Equal or subtle.ConstantTimeCompare", exprName(a))
+						return true
+					}
+				}
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if !comparableSecretType(info, x.X) && !comparableSecretType(info, x.Y) {
+					return true
+				}
+				for _, a := range []ast.Expr{x.X, x.Y} {
+					if isSensitiveName(exprName(a)) {
+						pass.Reportf(x.Pos(), "%s on %q is variable-time; compare authenticators with hmac.Equal or subtle.ConstantTimeCompare", x.Op, exprName(a))
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// comparableSecretType limits the ==/!= rule to byte arrays and strings —
+// the shapes authenticator material takes; integer tags and enum
+// comparisons stay legal.
+func comparableSecretType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	case *types.Array:
+		b, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return false
+}

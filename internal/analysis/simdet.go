@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SimDet enforces determinism inside the virtual-time packages: the
+// simulator's whole value (netsim's package doc, EXPERIMENTS.md) rests on
+// runs being bit-identical for a fixed seed, so those packages must not
+// read the wall clock, draw from the globally seeded math/rand, or let
+// Go's randomized map iteration order decide the order packets and
+// events are emitted.
+//
+// Wall-clock packages (hipudp, cmd/*, examples) are exempt by config:
+// they drive real sockets and real time on purpose.
+var SimDet = &Analyzer{
+	Name: "simdet",
+	Doc:  "wall-clock, global math/rand and map-order-dependent emission in virtual-time packages",
+	Run:  runSimDet,
+}
+
+// virtualTimePkgs names the packages that run on simulated time; keyed by
+// package name, so the testdata fixtures (which declare `package netsim`
+// under a different import path) exercise the same predicate.
+var virtualTimePkgs = map[string]bool{
+	"netsim":      true,
+	"hipsim":      true,
+	"simtcp":      true,
+	"stream":      true,
+	"experiments": true,
+}
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// wall clock. time.Duration arithmetic and constants stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Since": true, "Until": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// globalRandFuncs are math/rand's package-level functions, all of which
+// draw from the shared, seed-once global source. Constructors (New,
+// NewSource, NewZipf) are fine: a locally seeded *rand.Rand is exactly
+// what the simulator wants.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Uint32": true, "Uint64": true, "Float32": true,
+	"Float64": true, "ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true,
+}
+
+// emissionNames are callee names treated as "emits a packet or schedules
+// an event": reaching one from inside a map-range makes the emission
+// order depend on Go's randomized map iteration.
+var emissionNames = map[string]bool{
+	"Send": true, "SendTo": true, "SendRaw": true,
+	"Emit": true, "emit": true, "Deliver": true, "deliver": true,
+	"flush": true, "Flush": true, "Schedule": true, "After": true, "At": true,
+}
+
+func runSimDet(pass *Pass) {
+	if !virtualTimePkgs[pass.Pkg.Name] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, x)
+				if fn == nil {
+					return true
+				}
+				switch pkgPathOf(fn) {
+				case "time":
+					if wallClockFuncs[fn.Name()] {
+						pass.Reportf(x.Pos(), "time.%s reads the wall clock inside a virtual-time package; use the simulator clock (Sim.Now/Proc.Now, Sim.After)", fn.Name())
+					}
+				case "math/rand":
+					if globalRandFuncs[fn.Name()] && isPackageLevelCall(info, x) {
+						pass.Reportf(x.Pos(), "global math/rand.%s uses the shared seed-once source; draw from the simulation's seeded *rand.Rand (Sim.Rand)", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if !isMapRange(info, x) {
+					return true
+				}
+				if pos, name, found := findEmission(info, x.Body); found {
+					pass.Reportf(pos, "%s inside a range over a map: emission order depends on randomized map iteration; iterate a sorted or insertion-ordered view instead", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPackageLevelCall distinguishes rand.Intn(...) (package function) from
+// r.Intn(...) (method on a *rand.Rand, which is fine): the callee must
+// have no receiver.
+func isPackageLevelCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	tv, ok := info.Types[r.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// findEmission scans a loop body (nested statements and closures
+// included — a closure invoked later still emits in discovery order) for
+// a channel send or an emission-named call.
+func findEmission(info *types.Info, body *ast.BlockStmt) (pos token.Pos, name string, found bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			pos, name, found = x.Pos(), "channel send", true
+		case *ast.CallExpr:
+			var callee string
+			switch fn := ast.Unparen(x.Fun).(type) {
+			case *ast.Ident:
+				callee = fn.Name
+			case *ast.SelectorExpr:
+				callee = fn.Sel.Name
+			}
+			if emissionNames[callee] {
+				pos, name, found = x.Pos(), "call to "+callee, true
+			}
+		}
+		return !found
+	})
+	return pos, name, found
+}

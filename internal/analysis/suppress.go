@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //lint:allow comment.
+type suppression struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+// applySuppressions filters diags through the package's //lint:allow
+// comments and appends a diagnostic for every malformed suppression.
+//
+// A comment
+//
+//	//lint:allow <check> <reason...>
+//
+// silences diagnostics of <check> on its own line or on the line directly
+// below it (so it can trail the flagged statement or sit above it). The
+// reason is mandatory: a suppression without one is reported under the
+// synthetic check name "lint" and silences nothing.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var sups []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Check:   "lint",
+						Message: "suppression is missing a check name and/or reason: want //lint:allow <check> <reason>",
+					})
+					continue
+				}
+				sups = append(sups, suppression{
+					pos:    pos,
+					check:  fields[0],
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	if len(sups) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for i := range sups {
+			s := &sups[i]
+			if s.check != d.Check || s.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if s.pos.Line == d.Pos.Line || s.pos.Line == d.Pos.Line-1 {
+				s.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

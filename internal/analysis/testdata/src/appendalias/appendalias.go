@@ -1,0 +1,35 @@
+// Package appendalias is a hiplint fixture: append-style crypto calls
+// whose destination aliases their source.
+package appendalias
+
+import (
+	"hipcloud/internal/esp"
+	"hipcloud/internal/stream"
+)
+
+func aliasedSeal(sa *esp.OutboundSA, b []byte) {
+	sa.SealAppend(b[:0], b[4:]) // want "may share a backing array"
+}
+
+func aliasedOpen(sa *esp.InboundSA, pkt []byte) {
+	sa.OpenAppend(pkt[:0], pkt) // want "may share a backing array"
+}
+
+func distinctOK(sa *esp.OutboundSA, b []byte) {
+	dst := make([]byte, 0, 256)
+	out, _ := sa.SealAppend(dst, b)
+	_ = out
+}
+
+func nilDstOK(sa *esp.OutboundSA, b []byte) {
+	out, _ := sa.SealAppend(nil, b)
+	_ = out
+}
+
+func marshalAliased(s stream.Segment) {
+	s.MarshalInto(s.Payload) // want "alias the segment payload"
+}
+
+func marshalOK(s stream.Segment, wire []byte) {
+	s.MarshalInto(wire)
+}

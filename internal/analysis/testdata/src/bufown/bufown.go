@@ -1,0 +1,66 @@
+// Package bufown is a hiplint fixture: deliberate violations of the
+// GetBuf/PutBuf ownership contract, with // want expectations consumed
+// by the golden-file tests in internal/analysis.
+package bufown
+
+import "hipcloud/internal/netsim"
+
+var global [][]byte
+
+// doublePut releases the same buffer twice on one straight-line path.
+func doublePut() {
+	b := netsim.GetBuf(64)
+	netsim.PutBuf(b)
+	netsim.PutBuf(b) // want "second PutBuf of b"
+}
+
+// branchPut is correct: each path releases exactly once.
+func branchPut(cond bool) []byte {
+	b := netsim.GetBuf(64)
+	if cond {
+		netsim.PutBuf(b)
+		return nil
+	}
+	return b
+}
+
+// putEscaped stores the buffer into a global, then releases it while the
+// stored reference is still live.
+func putEscaped() {
+	b := netsim.GetBuf(64)
+	global = append(global, b)
+	netsim.PutBuf(b) // want "after it was stored"
+}
+
+// putForeign recycles a GC-owned allocation into the pool.
+func putForeign() {
+	b := make([]byte, 64)
+	netsim.PutBuf(b) // want "allocated with make"
+}
+
+// putOffset recycles a sub-slice whose base pointer is shifted into the
+// middle of another allocation.
+func putOffset(b []byte) {
+	netsim.PutBuf(b[2:]) // want "offset sub-slice"
+}
+
+// leak draws a buffer that no path releases or hands off.
+func leak() {
+	b := netsim.GetBuf(128) // want "neither released"
+	b[0] = 1
+}
+
+// handoff is correct: ownership passes to the callee.
+func handoff(send func(p []byte)) {
+	b := netsim.GetBuf(64)
+	send(b)
+}
+
+// reuseAfterReslice is correct: b = b[:0] keeps the same backing array,
+// so the single PutBuf is the only release.
+func reuseAfterReslice() {
+	b := netsim.GetBuf(64)
+	b = b[:0]
+	b = append(b, 1, 2, 3)
+	netsim.PutBuf(b)
+}

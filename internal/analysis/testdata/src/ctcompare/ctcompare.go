@@ -1,0 +1,33 @@
+// Package esp here is a hiplint fixture: it borrows the name of a crypto
+// package (the ctcompare check keys on package names) to exercise the
+// constant-time comparison rules.
+package esp
+
+import (
+	"bytes"
+	"crypto/hmac"
+)
+
+func badTag(tag, want []byte) bool {
+	return bytes.Equal(tag, want) // want "bytes.Equal on .tag. is variable-time"
+}
+
+func badDigest(a, digest [32]byte) bool {
+	return a == digest // want "variable-time"
+}
+
+func badNonceString(nonce, got string) bool {
+	return nonce != got // want "variable-time"
+}
+
+func lenOK(tag []byte) bool {
+	return len(tag) == 32 // integer comparison: fine
+}
+
+func hmacOK(tag, want []byte) bool {
+	return hmac.Equal(tag, want)
+}
+
+func plainDataOK(a, b []byte) bool {
+	return bytes.Equal(a, b) // no sensitive name: fine
+}

@@ -1,0 +1,51 @@
+// Package lockedsend is a hiplint fixture: emissions performed while a
+// sync.Mutex is held (the simulator's deadlock shape).
+package lockedsend
+
+import "sync"
+
+type fab struct{}
+
+func (fab) Send(to string, b []byte) error { return nil }
+
+type stack struct {
+	mu sync.Mutex
+	f  fab
+	cb func(int)
+	ch chan int
+}
+
+func (s *stack) badSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Send("peer", nil) // want "fab.Send while holding s.mu"
+}
+
+func (s *stack) badCallback() {
+	s.mu.Lock()
+	s.cb(1) // want "callback invocation while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *stack) badChan(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *stack) unlockedOK() {
+	s.mu.Lock()
+	cp := s.f
+	s.mu.Unlock()
+	cp.Send("peer", nil)
+}
+
+func (s *stack) branchOK(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		s.f.Send("peer", nil) // lock released on this path: fine
+		return
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,57 @@
+// Package netsim here is a hiplint fixture: it borrows the name of a
+// virtual-time package (the simdet check keys on package names) to
+// exercise the determinism rules.
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type fabric struct{}
+
+func (fabric) Send(to string, b []byte) {}
+
+func wallClock() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func wallClockNow() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+func localRandOK(r *rand.Rand) int {
+	return r.Intn(10) // method on a locally seeded source: fine
+}
+
+func seededOK() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func mapEmit(m map[string][]byte, f fabric) {
+	for k := range m {
+		f.Send(k, m[k]) // want "call to Send inside a range over a map"
+	}
+}
+
+func mapChanSend(m map[string]chan int) {
+	for _, ch := range m {
+		ch <- 1 // want "channel send inside a range over a map"
+	}
+}
+
+func sortedEmitOK(m map[string][]byte, f fabric) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.Send(k, m[k])
+	}
+}

@@ -1,0 +1,19 @@
+// Package netsim here is a hiplint fixture for //lint:allow handling:
+// a justified waiver silences exactly one diagnostic, an identical
+// violation without one still fires, and a waiver with no reason is
+// itself a finding (and suppresses nothing).
+package netsim
+
+import "time"
+
+func suppressedOnce() {
+	//lint:allow simdet fixture: this one wall-clock read is intentional
+	time.Sleep(time.Millisecond)
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func malformedWaiver() {
+	// want:+1 "suppression is missing a check name and/or reason"
+	//lint:allow simdet
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}

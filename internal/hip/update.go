@@ -1,7 +1,7 @@
 package hip
 
 import (
-	"bytes"
+	"crypto/hmac"
 	"net/netip"
 	"time"
 
@@ -146,7 +146,10 @@ func (h *Host) handleUpdate(pkt *hipwire.Packet, src netip.Addr, now time.Durati
 				}
 			}
 		}
-		if a.echoSent != nil && bytes.Equal(echoRespP.Data, a.echoSent) && a.candidateAddr.IsValid() {
+		// hmac.Equal, not bytes.Equal: the echo response is peer-supplied,
+		// and a variable-time compare would let an off-path attacker grind
+		// the nonce one byte per probe and hijack the locator update.
+		if a.echoSent != nil && hmac.Equal(echoRespP.Data, a.echoSent) && a.candidateAddr.IsValid() {
 			a.PeerLocator = a.candidateAddr
 			a.echoSent = nil
 			a.candidateAddr = netip.Addr{}

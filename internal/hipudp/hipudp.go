@@ -11,6 +11,7 @@
 package hipudp
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"math/rand"
@@ -76,6 +77,18 @@ type connKey struct {
 	remotePort uint16
 }
 
+// cryptoSeed draws the per-stack RNG seed from crypto/rand. This RNG
+// feeds puzzle nonces and ISNs on a real network path, so a predictable
+// seed (the old time.Now().UnixNano()) would let an observer who knows
+// the rough start time reconstruct the stream and pre-solve puzzles.
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("hipudp: crypto/rand unavailable: " + err.Error())
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
 // NewStack binds a UDP socket at listen (e.g. "127.0.0.1:10500") for the
 // given HIP host. The host's configured locator should match the bound
 // address.
@@ -99,7 +112,7 @@ func NewStack(host *hip.Host, listen string) (*Stack, error) {
 		conns:     make(map[connKey]*Conn),
 		listeners: make(map[uint16]*Listener),
 		nextPort:  41000,
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:       rand.New(rand.NewSource(cryptoSeed())),
 		done:      make(chan struct{}),
 	}
 	go s.readLoop()

@@ -174,6 +174,10 @@ func (s *Sim) Shutdown() {
 	for p := range s.parked {
 		delete(s.parked, p)
 		p.aborted = true
+		// The resume order is map-random, but Shutdown runs after Run has
+		// returned: every process just unwinds via the abort panic, so no
+		// observable event order depends on it.
+		//lint:allow simdet shutdown unwind order cannot affect results; sim is already stopped
 		p.resume <- struct{}{}
 		<-s.sched
 	}

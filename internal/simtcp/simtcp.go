@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"net/netip"
+	"sort"
 	"time"
 
 	"hipcloud/internal/netsim"
@@ -68,6 +69,18 @@ type connKey struct {
 	remotePort uint16
 }
 
+// less orders keys (peer, localPort, remotePort) — a stable sort key for
+// deterministic timer firing.
+func (k connKey) less(o connKey) bool {
+	if c := k.peer.Compare(o.peer); c != 0 {
+		return c < 0
+	}
+	if k.localPort != o.localPort {
+		return k.localPort < o.localPort
+	}
+	return k.remotePort < o.remotePort
+}
+
 // Stack is the per-node stream transport.
 type Stack struct {
 	sim    *netsim.Sim
@@ -79,10 +92,15 @@ type Stack struct {
 	nextPort  uint16
 
 	pending []inSeg // delivered, not yet pumped
-	dirty   map[*Conn]bool
-	debt    time.Duration // CPU cost accumulated in scheduler context
-	wakeQ   *netsim.WaitQueue
-	armed   map[*Conn]netsim.VTime // armed timer deadlines
+	// dirty conns are flushed in marking order: the map is the membership
+	// test, the queue the iteration order. Ranging over the map alone
+	// would emit packets in Go's randomized map order and break the
+	// simulator's run-to-run determinism (caught by hiplint's simdet).
+	dirty  map[*Conn]bool
+	dirtyQ []*Conn
+	debt   time.Duration // CPU cost accumulated in scheduler context
+	wakeQ  *netsim.WaitQueue
+	armed  map[*Conn]netsim.VTime // armed timer deadlines
 
 	closed bool
 }
@@ -135,6 +153,14 @@ func (s *Stack) deliver(peer netip.Addr, data []byte, cost time.Duration) {
 // wakePump nudges the pump process (proc or scheduler context).
 func (s *Stack) wakePump() { s.wakeQ.WakeOne() }
 
+// markDirty queues c for flushing exactly once, preserving marking order.
+func (s *Stack) markDirty(c *Conn) {
+	if !s.dirty[c] {
+		s.dirty[c] = true
+		s.dirtyQ = append(s.dirtyQ, c)
+	}
+}
+
 // pump is the stack's kernel process: it charges CPU debt, feeds inbound
 // segments to connections, packetizes outbound data, and manages timers.
 func (s *Stack) pump(p *netsim.Proc) {
@@ -154,8 +180,11 @@ func (s *Stack) pump(p *netsim.Proc) {
 			// segment, so the wire buffer can be recycled now.
 			netsim.PutBuf(in.data)
 		}
-		// Outbound for dirty conns.
-		for c := range s.dirty {
+		// Outbound for dirty conns, in marking order (determinism: a map
+		// range here would emit packets in randomized order).
+		for len(s.dirtyQ) > 0 {
+			c := s.dirtyQ[0]
+			s.dirtyQ = s.dirtyQ[1:]
 			delete(s.dirty, c)
 			s.flush(p, c)
 		}
@@ -183,14 +212,21 @@ func (s *Stack) pump(p *netsim.Proc) {
 				continue // woken by work
 			}
 		}
-		// A deadline passed: fire timers.
+		// A deadline passed: fire timers. Due conns are collected and
+		// sorted by connection key before firing, so the retransmissions
+		// they queue flush in a stable order regardless of map iteration.
 		now := p.Now()
+		var due []*Conn
 		for c, at := range s.armed {
 			if at <= now {
-				delete(s.armed, c)
-				c.inner.OnTimer(now)
-				s.dirty[c] = true
+				due = append(due, c)
 			}
+		}
+		sort.Slice(due, func(i, j int) bool { return due[i].key.less(due[j].key) })
+		for _, c := range due {
+			delete(s.armed, c)
+			c.inner.OnTimer(now)
+			s.markDirty(c)
 		}
 	}
 }
@@ -216,7 +252,7 @@ func (s *Stack) handleSegment(p *netsim.Proc, in inSeg) {
 		l.wq.WakeOne()
 	}
 	c.inner.OnSegment(seg, p.Now())
-	s.dirty[c] = true
+	s.markDirty(c)
 	c.signal()
 }
 
@@ -305,7 +341,7 @@ func (s *Stack) Dial(p *netsim.Proc, peer netip.Addr, port uint16, timeout time.
 	key := connKey{peer: canon, localPort: s.allocPort(), remotePort: port}
 	c := s.newConn(key)
 	c.inner.Open(p.Now())
-	s.dirty[c] = true
+	s.markDirty(c)
 	s.wakePump()
 	deadline := netsim.VTime(0)
 	if timeout > 0 {
@@ -433,7 +469,7 @@ func (c *Conn) Read(p *netsim.Proc, b []byte) (int, error) {
 		n, err := c.inner.Read(b)
 		if n > 0 {
 			if c.inner.MaybeWindowUpdate() {
-				c.stack.dirty[c] = true
+				c.stack.markDirty(c)
 				c.stack.wakePump()
 			}
 			return n, nil
@@ -464,7 +500,7 @@ func (c *Conn) Write(p *netsim.Proc, b []byte) (int, error) {
 		total += n
 		b = b[n:]
 		if n > 0 {
-			c.stack.dirty[c] = true
+			c.stack.markDirty(c)
 			c.stack.wakePump()
 		}
 		if len(b) > 0 {
@@ -481,7 +517,7 @@ func (c *Conn) Close() {
 	}
 	c.closedByUser = true
 	c.inner.Close()
-	c.stack.dirty[c] = true
+	c.stack.markDirty(c)
 	c.stack.wakePump()
 }
 
@@ -489,7 +525,7 @@ func (c *Conn) Close() {
 func (c *Conn) Abort() {
 	c.inner.Abort()
 	c.closedByUser = true
-	c.stack.dirty[c] = true
+	c.stack.markDirty(c)
 	c.stack.wakePump()
 }
 
