@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all check lint vet build test race bench-smoke fuzz-smoke bench
+.PHONY: all check lint vet build test race bench-smoke fuzz-smoke chaos-smoke bench
 
 all: check
 
 # The full pre-merge gate: the custom analyzer suite, static checks,
 # build, tests (incl. race on the concurrent packages), a quick
-# allocation-guard smoke over the crypto fast paths, and a short fuzz run
-# over the wire-format parsers.
-check: lint vet build test race bench-smoke fuzz-smoke
+# allocation-guard smoke over the crypto fast paths, a short fuzz run
+# over the wire-format parsers, and a short-seed chaos run (determinism
+# plus HIP-recovers-the-migration, via the fault-injection harness).
+check: lint vet build test race bench-smoke fuzz-smoke chaos-smoke
 
 # hiplint (cmd/hiplint + internal/analysis) machine-checks the DESIGN.md
 # §5a contracts: buffer ownership (bufown), append-API aliasing
@@ -36,7 +37,7 @@ test:
 # code already covered by `test`; re-running it under race only slowed
 # the gate.
 RACE_PKGS = ./internal/netsim ./internal/simtcp ./internal/hipsim \
-	./internal/hipudp ./internal/teredo ./internal/rubis
+	./internal/hipudp ./internal/teredo ./internal/rubis ./internal/faults
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -58,6 +59,12 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadRequest$$ -fuzztime=$(FUZZTIME) ./internal/microhttp
 	$(GO) test -run=NONE -fuzz=FuzzReadResponse$$ -fuzztime=$(FUZZTIME) ./internal/microhttp
 	$(GO) test -run=NONE -fuzz=FuzzParseMessage$$ -fuzztime=$(FUZZTIME) ./internal/hipdns
+
+# Short-seed chaos run: drives the RUBiS tiers through the fault
+# schedule (internal/faults) for all three scenarios and prints the
+# recovery/request-loss table. Byte-identical output for a fixed seed.
+chaos-smoke:
+	$(GO) run ./cmd/benchcloud -run chaos -short -seed 1
 
 # Full benchmark sweep, including the paper-figure reproductions.
 bench:

@@ -7,6 +7,7 @@
 //	benchcloud -run private   Figure 2 workload on the OpenNebula profile
 //	benchcloud -run bex       §IV-B: base-exchange and puzzle cost analysis
 //	benchcloud -run dos       §IV-B: BEX flood, fixed vs adaptive puzzles
+//	benchcloud -run chaos     fault schedule: request loss + recovery per scenario
 //	benchcloud -run all       everything above
 //
 // Durations are virtual time; -short trims them for quick runs.
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: fig2|rtt|fig3|private|bex|dos|all")
+	run := flag.String("run", "all", "experiment: fig2|rtt|fig3|private|bex|dos|chaos|all")
 	short := flag.Bool("short", false, "shorter virtual durations")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
@@ -90,6 +91,16 @@ func main() {
 		fmt.Println(tbl)
 		_, ptbl := experiments.RunPuzzleSweep(nil, 16, *seed)
 		fmt.Println(ptbl)
+	}
+	if want("chaos") {
+		ran = true
+		chaosDur := 45 * time.Second
+		if *short {
+			chaosDur = 12 * time.Second
+		}
+		fmt.Println("running chaos fault schedule (3 scenarios)...")
+		_, tbl := experiments.RunChaos(experiments.ChaosConfig{Duration: chaosDur, Seed: *seed})
+		fmt.Println(tbl)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)

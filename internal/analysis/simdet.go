@@ -30,6 +30,9 @@ var virtualTimePkgs = map[string]bool{
 	"simtcp":      true,
 	"stream":      true,
 	"experiments": true,
+	"faults":      true,
+	"hip":         true,
+	"cloud":       true,
 }
 
 // wallClockFuncs are the time-package functions that read or wait on the

@@ -99,10 +99,35 @@ type VM struct {
 	Zone     *Zone
 	PhysHost int // physical host index within the zone (co-residency)
 	addrs    []netip.Addr
+	// link is the access link of the current primary interface (replaced
+	// on Migrate); fault injection flaps or severs it.
+	link *netsim.Link
 }
 
 // Addr returns the VM's primary address.
 func (v *VM) Addr() netip.Addr { return v.addrs[0] }
+
+// AccessLink returns the link behind the VM's primary interface.
+func (v *VM) AccessLink() *netsim.Link { return v.link }
+
+// Crash powers the VM off: its node stops sending and receiving, but
+// simulated processes keep running (they just can't reach the network),
+// matching a hypervisor pause / host failure from the network's view.
+func (v *VM) Crash() { v.Node.Down = true }
+
+// Restart powers a crashed VM back on in place, with its addresses and
+// routes intact (a host reboot that recovers the same instance).
+func (v *VM) Restart() { v.Node.Down = false }
+
+// RestartIn recovers a crashed VM into zone `to`, reusing the migration
+// machinery: power back on, then attach a fresh interface in the target
+// zone. The new primary address is returned; transports bound to the old
+// locator need HIP UPDATE (or a reconnect) to follow, exactly as for a
+// live migration.
+func (v *VM) RestartIn(to *Zone) netip.Addr {
+	v.Node.Down = false
+	return v.Zone.cloud.Migrate(v, to)
+}
 
 // Zone is one availability zone: a switch with VMs attached.
 type Zone struct {
@@ -115,7 +140,12 @@ type Zone struct {
 	counter int
 	// uplinks maps peer zones to the next-hop address reaching them.
 	uplinks map[*Zone]netip.Addr
+	// links retains the inter-zone link objects for fault injection.
+	links map[*Zone]*netsim.Link
 }
+
+// VMs returns the zone's VMs in launch order.
+func (z *Zone) VMs() []*VM { return z.vms }
 
 // Cloud is a deployment of one or more zones.
 type Cloud struct {
@@ -153,12 +183,13 @@ func (c *Cloud) AddZone(name string) *Zone {
 		cloud:   c,
 		subnet:  netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", 10+idx)),
 		uplinks: make(map[*Zone]netip.Addr),
+		links:   make(map[*Zone]*netsim.Link),
 	}
 	// Inter-zone links: connect each new zone to every existing one.
 	for _, prev := range c.Zones {
 		a := c.interAddr()
 		b := c.interAddr()
-		c.Net.Connect(prev.Router, a, z.Router, b, netsim.Link{
+		l := c.Net.Connect(prev.Router, a, z.Router, b, netsim.Link{
 			Latency:   750 * time.Microsecond,
 			Bandwidth: c.Profile.LinkBandwidth,
 		})
@@ -166,6 +197,8 @@ func (c *Cloud) AddZone(name string) *Zone {
 		z.Router.AddRoute(prev.subnet, a)
 		prev.uplinks[z] = b
 		z.uplinks[prev] = a
+		prev.links[z] = l
+		z.links[prev] = l
 	}
 	c.Zones = append(c.Zones, z)
 	return z
@@ -191,7 +224,7 @@ func (z *Zone) Launch(name string, t InstanceType, tenant *Tenant) *VM {
 	node := z.cloud.Net.AddNode(name, t.Cores, t.Speed)
 	addr := z.allocIP()
 	gw := z.allocIP()
-	z.cloud.Net.Connect(node, addr, z.Router, gw, netsim.Link{
+	l := z.cloud.Net.Connect(node, addr, z.Router, gw, netsim.Link{
 		Latency:   z.cloud.Profile.LinkLatency,
 		Bandwidth: z.cloud.Profile.LinkBandwidth,
 		Jitter:    z.cloud.Profile.LinkJitter,
@@ -205,6 +238,7 @@ func (z *Zone) Launch(name string, t InstanceType, tenant *Tenant) *VM {
 		Zone:     z,
 		PhysHost: z.counter / 2,
 		addrs:    []netip.Addr{addr},
+		link:     l,
 	}
 	z.counter++
 	z.vms = append(z.vms, vm)
@@ -217,6 +251,11 @@ func (z *Zone) Launch(name string, t InstanceType, tenant *Tenant) *VM {
 
 // VM returns a VM by name.
 func (c *Cloud) VM(name string) *VM { return c.vms[name] }
+
+// InterZoneLink returns the link between two zones' routers, or nil if
+// they are the same zone or not directly connected — the handle a fault
+// schedule uses for zone-level partitions.
+func (c *Cloud) InterZoneLink(a, b *Zone) *netsim.Link { return a.links[b] }
 
 // CoResident reports whether two VMs share a physical host — the paper's
 // §III-B scenario of competing tenants on one machine.
@@ -278,7 +317,7 @@ func (c *Cloud) EnableVLANFilter() {
 func (c *Cloud) Migrate(vm *VM, to *Zone) netip.Addr {
 	addr := to.allocIP()
 	gw := to.allocIP()
-	c.Net.Connect(vm.Node, addr, to.Router, gw, netsim.Link{
+	l := c.Net.Connect(vm.Node, addr, to.Router, gw, netsim.Link{
 		Latency:   c.Profile.LinkLatency,
 		Bandwidth: c.Profile.LinkBandwidth,
 		Jitter:    c.Profile.LinkJitter,
@@ -286,6 +325,7 @@ func (c *Cloud) Migrate(vm *VM, to *Zone) netip.Addr {
 	vm.Node.AddDefaultRoute(gw)
 	vm.Zone = to
 	vm.addrs = append([]netip.Addr{addr}, vm.addrs...)
+	vm.link = l
 	if vm.Tenant != nil {
 		c.vlanOf[addr] = vm.Tenant.VLAN
 	}

@@ -184,6 +184,12 @@ func isIVSetter(m cipher.BlockMode) bool {
 // Seq returns the last sequence number sent.
 func (sa *OutboundSA) Seq() uint32 { return sa.seq }
 
+// SetSeq fast-forwards the outbound sequence counter. It exists so tests
+// can place an SA near the 2^32−1 saturation point without sealing four
+// billion packets; production code never rewinds or skips sequence
+// numbers.
+func (sa *OutboundSA) SetSeq(seq uint32) { sa.seq = seq }
+
 // bodyLen reports the on-wire body length (IV + ciphertext + trailer, no
 // header/ICV) a suite produces for a payload of length n.
 func bodyLen(s keymat.Suite, n int) int {

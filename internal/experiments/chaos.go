@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"time"
+
+	"hipcloud/internal/cloud"
+	"hipcloud/internal/faults"
+	"hipcloud/internal/metrics"
+	"hipcloud/internal/microhttp"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/rubis"
+	"hipcloud/internal/secio"
+)
+
+// ChaosConfig parameterizes the chaos experiment.
+type ChaosConfig struct {
+	Profile cloud.Profile
+	// Duration is the virtual length of each scenario run; the fault
+	// schedule scales with it. Default 45s.
+	Duration time.Duration
+	Clients  int // concurrent closed-loop clients (default 6)
+	// Timeout aborts a client request (jmeter response timeout); default
+	// Duration/10, so the schedule still works for short smoke runs.
+	Timeout time.Duration
+	Seed    int64
+}
+
+func (c *ChaosConfig) fill() {
+	if c.Duration <= 0 {
+		c.Duration = 45 * time.Second
+	}
+	if c.Clients <= 0 {
+		c.Clients = 6
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Duration / 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Profile.Name == "" {
+		c.Profile = cloud.EC2
+	}
+}
+
+// ChaosResult is one scenario's measurements under the fault schedule.
+type ChaosResult struct {
+	Kind      secio.Kind
+	Completed int
+	Failed    int
+	// WorstOutage is the longest gap between successive successful
+	// responses across all clients — how long the service was dark.
+	WorstOutage time.Duration
+	// WebRecovery is the time from web1's crash until it served its first
+	// request from its new zone (0 = it never recovered in this run).
+	WebRecovery time.Duration
+	FaultLog    []faults.Record
+}
+
+// LossPct is the fraction of issued requests that failed, in percent.
+func (r ChaosResult) LossPct() float64 {
+	total := r.Completed + r.Failed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Failed) * 100 / float64(total)
+}
+
+// runChaosScenario drives the Figure 1 testbed through a deterministic
+// fault schedule (all offsets are fractions of cfg.Duration, written D):
+//
+//	0.15D  LB uplink flaps down for 0.04D — every scenario goes dark.
+//	0.30D  LB uplink impaired for 0.07D: loss, bit corruption,
+//	       duplication, reordering.
+//	0.50D  web1 crashes and its access link is severed for good.
+//	0.55D  web1 restarts in zone b with a new address (the migration
+//	       machinery); under HIP the fabric announces the new locator
+//	       with UPDATE, so the LB's pooled associations rehome and
+//	       retransmits drain into the new zone. Basic and SSL backends
+//	       are IP-bound: the LB keeps dialing the dead address and web1
+//	       is lost for the rest of the run.
+//	0.70D  the DB's CPU stalls for 0.05D (noisy-neighbour burst).
+func runChaosScenario(cfg ChaosConfig, kind secio.Kind) ChaosResult {
+	d := Deploy(DeployConfig{
+		Profile: cfg.Profile,
+		Kind:    kind,
+		NumWeb:  3,
+		DBCache: false,
+		UseRSA:  true,
+		Seed:    cfg.Seed,
+		WithLB:  true,
+		Zones:   2,
+	})
+	D := cfg.Duration
+	inj := faults.New(d.Sim)
+	uplink := d.Cloud.Net.LinkBetween(d.LBNode, d.Cloud.Zones[0].Router)
+	inj.FlapLink(uplink, "lb-uplink", D*15/100, D*4/100)
+	inj.ImpairLink(uplink, "lb-uplink", D*30/100, D*7/100, faults.Impairment{
+		DropProb:     0.05,
+		CorruptProb:  0.02,
+		DupProb:      0.02,
+		ReorderProb:  0.05,
+		ReorderDelay: 2 * time.Millisecond,
+	})
+	web1 := d.WebVMs[0]
+	oldAccess := web1.AccessLink()
+	crashAt := D * 50 / 100
+	restartAt := D * 55 / 100
+	inj.At(crashAt, "crash web1", web1.Crash)
+	// The old attachment dies with the host: flap it down permanently so
+	// the pre-migration address really is unreachable.
+	inj.FlapLink(oldAccess, "web1-old-access", crashAt, 0)
+	inj.At(restartAt, "restart web1 in zone b", func() {
+		newAddr := web1.RestartIn(d.Cloud.Zones[1])
+		if fab := d.WebFabs[0]; fab != nil {
+			fab.MoveTo(newAddr)
+		}
+	})
+	inj.StallCPU(d.DBVM.Node, D*70/100, D*5/100)
+
+	res := ChaosResult{Kind: kind}
+	mix := rubis.NewMix(cfg.Seed+7, d.DB.NumItems(), d.DB.NumUsers())
+	addr, port := d.FrontAddr()
+	var lastOK time.Duration
+	for i := 0; i < cfg.Clients; i++ {
+		d.Sim.Spawn("chaos-client", func(p *netsim.Proc) {
+			var conn secio.Conn
+			var br *bufio.Reader
+			defer func() {
+				if conn != nil {
+					conn.Close()
+				}
+			}()
+			for p.Now() < D {
+				if conn == nil {
+					c, err := d.ClientT.Dial(p, addr, port)
+					if err != nil {
+						res.Failed++
+						p.Sleep(D / 200)
+						continue
+					}
+					conn = c
+					br = bufio.NewReader(c)
+				}
+				req := &microhttp.Request{Method: "GET", Path: mix.Next(), Headers: map[string]string{"Host": "rubis"}}
+				resp, err := chaosRoundTrip(p, conn, br, req, cfg.Timeout)
+				if err != nil || resp.Status != 200 {
+					res.Failed++
+					conn.Close()
+					conn = nil
+					continue
+				}
+				res.Completed++
+				now := p.Now()
+				if gap := now - lastOK; gap > res.WorstOutage {
+					res.WorstOutage = gap
+				}
+				lastOK = now
+			}
+		})
+	}
+	// Recovery monitor: web1 has recovered once it serves a request from
+	// its new home.
+	web1B := d.LB.Backends[0]
+	d.Sim.Spawn("chaos-monitor", func(p *netsim.Proc) {
+		p.Sleep(restartAt)
+		base := web1B.Served
+		for p.Now() < D {
+			if web1B.Served > base {
+				res.WebRecovery = p.Now() - crashAt
+				return
+			}
+			p.Sleep(D / 500)
+		}
+	})
+	d.Sim.Run(D + D/10)
+	d.Sim.Shutdown()
+	res.FaultLog = inj.Log()
+	return res
+}
+
+// chaosRoundTrip performs one HTTP exchange, aborting the connection
+// after timeout (the simulated streams have no read deadlines; Abort is
+// what unblocks a reader stalled on a crashed backend).
+func chaosRoundTrip(p *netsim.Proc, conn secio.Conn, br *bufio.Reader, req *microhttp.Request, timeout time.Duration) (*microhttp.Response, error) {
+	done, fired := false, false
+	p.Sim().After(timeout, func() {
+		if !done {
+			fired = true
+			conn.Abort()
+		}
+	})
+	resp, err := microhttp.RoundTrip(conn, br, req)
+	done = true
+	if fired && err == nil {
+		return nil, microhttp.ErrMalformed
+	}
+	return resp, err
+}
+
+// RunChaos runs the fault schedule against the basic, HIP and SSL
+// scenarios and tabulates request loss and recovery — the paper's
+// resilience argument (HIP associations survive locator changes via
+// UPDATE; IP-bound transports do not) as a measurable table.
+func RunChaos(cfg ChaosConfig) ([]ChaosResult, *metrics.Table) {
+	cfg.fill()
+	var out []ChaosResult
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Chaos — RUBiS under a fault schedule (%s, %v)", cfg.Profile.Name, cfg.Duration),
+		"scenario", "ok", "failed", "loss%", "worst-outage", "web1-recovery")
+	for _, kind := range []secio.Kind{secio.Basic, secio.HIP, secio.SSL} {
+		r := runChaosScenario(cfg, kind)
+		out = append(out, r)
+		rec := "never"
+		if r.WebRecovery > 0 {
+			rec = fmt.Sprintf("%.1fms", float64(r.WebRecovery)/1e6)
+		}
+		tbl.Row(kind.String(), r.Completed, r.Failed, r.LossPct(), r.WorstOutage, rec)
+	}
+	tbl.Caption = "schedule: uplink flap + corruption window, web1 crash → restart in zone b (locator change), DB CPU stall;\n" +
+		"HIP rehomes the LB's associations with UPDATE, basic/SSL lose the migrated backend for good"
+	return out, tbl
+}

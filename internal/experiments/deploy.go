@@ -31,9 +31,14 @@ type Deployment struct {
 	Kind    secio.Kind
 	ClientT *secio.Transport
 	LBAddr  netip.Addr
+	LBNode  *netsim.Node // nil unless WithLB
 	LB      *proxy.Proxy
 	Webs    []*rubis.WebServer
 	WebAddr []netip.Addr // scenario addresses of the web tier
+	// WebFabs holds each web VM's HIP fabric, index-aligned with Webs
+	// (nil entries unless Kind == HIP). Fault schedules use them to follow
+	// a migration with MoveTo.
+	WebFabs []*hipsim.Fabric
 	DB      *rubis.Database
 	DBVM    *cloud.VM
 	WebVMs  []*cloud.VM
@@ -53,6 +58,12 @@ type DeployConfig struct {
 	WithLB bool
 	// Items/Users size the RUBiS dataset.
 	Items, Users int
+	// Zones is the number of availability zones (default 1). All VMs still
+	// launch in zone 0; extra zones serve as migration / crash-recovery
+	// targets for fault schedules.
+	Zones int
+	// HealthInterval enables the LB's periodic backend health probes.
+	HealthInterval time.Duration
 }
 
 func (c *DeployConfig) fill() {
@@ -79,6 +90,9 @@ func Deploy(cfg DeployConfig) *Deployment {
 	s := netsim.New(cfg.Seed)
 	n := netsim.NewNetwork(s)
 	cl := cloud.New(n, cfg.Profile)
+	for i := 1; i < cfg.Zones; i++ {
+		cl.AddZone(string(rune('a' + i)))
+	}
 	tenant := &cloud.Tenant{Name: "tenant-a", VLAN: 100}
 
 	d := &Deployment{Sim: s, Cloud: cl, Kind: cfg.Kind}
@@ -100,8 +114,8 @@ func Deploy(cfg DeployConfig) *Deployment {
 		alg = identity.AlgRSA
 	}
 	// mk builds the scenario transport for a node and returns the address
-	// peers should dial it at.
-	mk := func(node *netsim.Node) (*secio.Transport, netip.Addr) {
+	// peers should dial it at, plus the HIP fabric when one exists.
+	mk := func(node *netsim.Node) (*secio.Transport, netip.Addr, *hipsim.Fabric) {
 		switch cfg.Kind {
 		case secio.HIP:
 			id := identity.MustGenerate(alg)
@@ -114,25 +128,25 @@ func Deploy(cfg DeployConfig) *Deployment {
 			f := hipsim.New(node, h, d.Reg)
 			// The paper ran the experiments over LSIs ("all the
 			// experiments involving HIP were carried out with LSIs").
-			return &secio.Transport{Kind: secio.HIP, Stack: simtcp.NewStack(node, f)}, d.Reg.LSI(id.HIT())
+			return &secio.Transport{Kind: secio.HIP, Stack: simtcp.NewStack(node, f)}, d.Reg.LSI(id.HIT()), f
 		case secio.SSL:
 			id := identity.MustGenerate(alg)
 			return &secio.Transport{
 				Kind: secio.SSL, Identity: id, Costs: cloud.TLSCosts(cfg.UseRSA),
 				Stack: simtcp.NewStack(node, simtcp.NewPlainFabric(node)),
-			}, node.Addr()
+			}, node.Addr(), nil
 		default:
 			return &secio.Transport{
 				Kind: secio.Basic, Stack: simtcp.NewStack(node, plainFabric(node)),
-			}, node.Addr()
+			}, node.Addr(), nil
 		}
 	}
 
-	dbT, dbAddr := mk(d.DBVM.Node)
+	dbT, dbAddr, _ := mk(d.DBVM.Node)
 	s.Spawn("db1", (&rubis.DBServer{DB: d.DB, Transport: dbT}).Run)
 
 	for _, vm := range d.WebVMs {
-		wt, waddr := mk(vm.Node)
+		wt, waddr, wf := mk(vm.Node)
 		listenT := wt
 		if !cfg.WithLB {
 			// §V-B setup: httperf hits the web server over plain HTTP;
@@ -155,6 +169,7 @@ func Deploy(cfg DeployConfig) *Deployment {
 		}
 		d.Webs = append(d.Webs, ws)
 		d.WebAddr = append(d.WebAddr, waddr)
+		d.WebFabs = append(d.WebFabs, wf)
 		s.Spawn(vm.Name, ws.Run)
 	}
 
@@ -174,20 +189,22 @@ func Deploy(cfg DeployConfig) *Deployment {
 		case secio.SSL:
 			back = &secio.Transport{Kind: secio.SSL, Stack: front.Stack, Costs: cloud.TLSCosts(cfg.UseRSA)}
 		case secio.HIP:
-			back, _ = mk(lbNode)
+			back, _, _ = mk(lbNode)
 		}
 		d.LB = &proxy.Proxy{
-			Name:          "haproxy",
-			Front:         front,
-			Back:          back,
-			Policy:        proxy.RoundRobin,
-			PerRequestCPU: 60 * time.Microsecond,
+			Name:           "haproxy",
+			Front:          front,
+			Back:           back,
+			Policy:         proxy.RoundRobin,
+			PerRequestCPU:  60 * time.Microsecond,
+			HealthInterval: cfg.HealthInterval,
 		}
 		for i, a := range d.WebAddr {
 			d.LB.AddBackend(d.Webs[i].Name, a, rubis.WebPort)
 		}
 		s.Spawn("haproxy", d.LB.Run)
 		d.LBAddr = lbNode.Addr()
+		d.LBNode = lbNode
 	}
 	return d
 }

@@ -191,3 +191,33 @@ func TestDoSAdaptivePuzzlesThrottleAttack(t *testing.T) {
 		t.Fatal("legitimate client starved out entirely under adaptive puzzles")
 	}
 }
+
+// TestChaosDeterministicAndHIPRecovers pins the tentpole contract: the
+// same seed reproduces the chaos run byte-for-byte, and only HIP brings
+// the migrated web VM back (the paper's UPDATE-survives-locator-change
+// argument).
+func TestChaosDeterministicAndHIPRecovers(t *testing.T) {
+	cfg := ChaosConfig{Duration: 10 * time.Second, Clients: 4, Seed: 3}
+	res1, tbl1 := RunChaos(cfg)
+	_, tbl2 := RunChaos(cfg)
+	if tbl1.String() != tbl2.String() {
+		t.Fatalf("same-seed chaos runs differ:\n%s\nvs\n%s", tbl1, tbl2)
+	}
+	for _, r := range res1 {
+		t.Logf("%v: ok=%d failed=%d outage=%v recovery=%v", r.Kind, r.Completed, r.Failed, r.WorstOutage, r.WebRecovery)
+		if r.Completed == 0 {
+			t.Fatalf("%v: no requests completed", r.Kind)
+		}
+		if r.Kind == secio.HIP {
+			if r.WebRecovery <= 0 {
+				t.Fatalf("hip: migrated web VM never recovered")
+			}
+		} else if r.WebRecovery != 0 {
+			t.Fatalf("%v: IP-bound backend recovered after migration (recovery=%v)", r.Kind, r.WebRecovery)
+		}
+	}
+	_, tbl3 := RunChaos(ChaosConfig{Duration: 10 * time.Second, Clients: 4, Seed: 4})
+	if tbl1.String() == tbl3.String() {
+		t.Fatal("different seeds produced identical chaos tables")
+	}
+}

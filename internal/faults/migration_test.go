@@ -1,0 +1,122 @@
+package faults_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"hipcloud/internal/faults"
+	"hipcloud/internal/hip"
+	"hipcloud/internal/hipsim"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/netsim"
+	"hipcloud/internal/simtcp"
+)
+
+// TestPartitionThenHealDuringMigration is the examples/migration scenario
+// under a network partition: mid-stream, the endpoints are partitioned,
+// the server migrates to a new locator while unreachable, and the
+// partition heals. The HIP UPDATE exchange (retransmitted across the
+// outage) re-establishes the new locator after the heal and the stream
+// delivers every byte exactly once, in order.
+func TestPartitionThenHealDuringMigration(t *testing.T) {
+	idA := identity.MustGenerate(identity.AlgECDSA)
+	idB := identity.MustGenerate(identity.AlgECDSA)
+	locA := netip.MustParseAddr("10.0.0.1")
+	locB := netip.MustParseAddr("10.0.1.1")
+	locB2 := netip.MustParseAddr("10.0.2.1")
+
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	a := n.AddNode("a", 2, 1)
+	b := n.AddNode("b", 2, 1)
+	r := n.AddRouter("r")
+	n.Connect(a, locA, r, netip.MustParseAddr("10.0.0.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(r, netip.MustParseAddr("10.0.1.254"), b, locB, netsim.Link{Latency: time.Millisecond})
+	n.Connect(r, netip.MustParseAddr("10.0.2.254"), b, locB2, netsim.Link{Latency: time.Millisecond})
+	a.AddDefaultRoute(netip.MustParseAddr("10.0.0.254"))
+	b.AddDefaultRoute(netip.MustParseAddr("10.0.1.254"))
+	r.AddRoute(netip.MustParsePrefix("10.0.0.0/24"), locA)
+
+	reg := hipsim.NewRegistry()
+	ha, _ := hip.NewHost(hip.Config{Identity: idA, Locator: locA})
+	hb, _ := hip.NewHost(hip.Config{Identity: idB, Locator: locB})
+	fa := hipsim.New(a, ha, reg)
+	fb := hipsim.New(b, hb, reg)
+	sa := simtcp.NewStack(a, fa)
+	sb := simtcp.NewStack(b, fb)
+
+	inj := faults.New(s)
+
+	l := sb.MustListen(80)
+	var serverGot []byte
+	s.Spawn("server", func(p *netsim.Proc) {
+		c, err := l.Accept(p, 0)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(p, buf)
+			if err != nil {
+				return
+			}
+			serverGot = append(serverGot, buf[:n]...)
+			if _, err := c.Write(p, buf[:n]); err != nil {
+				return
+			}
+		}
+	})
+	var rounds int
+	s.Spawn("client", func(p *netsim.Proc) {
+		c, err := sa.Dial(p, idB.HIT(), 80, 10*time.Second)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		buf := make([]byte, 64)
+		for i := 0; i < 10; i++ {
+			msg := []byte{byte('0' + i)}
+			if _, err := c.Write(p, msg); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			nr, err := c.Read(p, buf)
+			if err != nil || nr != 1 || buf[0] != msg[0] {
+				t.Errorf("round %d: got %q err %v", i, buf[:nr], err)
+				return
+			}
+			rounds++
+			if i == 4 {
+				// Partition the endpoints for 2 s (well inside HIP's
+				// ~15.5 s UPDATE give-up window), migrate B while it is
+				// unreachable, and let the heal deliver the retransmitted
+				// UPDATE announcing the new locator.
+				now := p.Now()
+				inj.Partition("a|b", now, 2*time.Second,
+					[]*netsim.Node{a}, []*netsim.Node{b})
+				inj.At(now+500*time.Millisecond, "migrate b -> "+locB2.String(), func() {
+					fb.MoveTo(locB2)
+				})
+				p.Sleep(3 * time.Second) // resume echoing after the heal
+			}
+		}
+		c.Close()
+	})
+	s.Run(time.Minute)
+	s.Shutdown()
+
+	if rounds != 10 {
+		t.Fatalf("rounds = %d, want 10 across partition+migration", rounds)
+	}
+	// Exactly once, in order: retransmissions across the partition must
+	// not duplicate or reorder any byte at the application layer.
+	if string(serverGot) != "0123456789" {
+		t.Fatalf("server received %q, want \"0123456789\" exactly once each", serverGot)
+	}
+	// The association survived and now points at the post-heal locator.
+	assoc, ok := ha.Association(idB.HIT())
+	if !ok || assoc.PeerLocator != locB2 {
+		t.Fatalf("peer locator = %+v, want %v after heal", assoc, locB2)
+	}
+}

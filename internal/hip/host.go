@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"sort"
 	"time"
 
 	"hipcloud/internal/identity"
@@ -308,12 +309,22 @@ func (h *Host) Association(peerHIT netip.Addr) (*Association, bool) {
 	return a, ok
 }
 
-// Associations returns all current associations.
-func (h *Host) Associations() []*Association {
+// Associations returns all current associations, ordered by peer HIT.
+func (h *Host) Associations() []*Association { return h.sortedAssocs() }
+
+// sortedAssocs snapshots the association map in peer-HIT order. Every
+// path that walks associations AND emits packets or events must iterate
+// this snapshot, never the map: map-range order would make packet
+// emission order depend on Go's map seed, breaking run-to-run determinism
+// of the simulation (the simdet contract).
+func (h *Host) sortedAssocs() []*Association {
 	out := make([]*Association, 0, len(h.assocs))
 	for _, a := range h.assocs {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].PeerHIT.Compare(out[j].PeerHIT) < 0
+	})
 	return out
 }
 
@@ -379,7 +390,7 @@ func (h *Host) NextDeadline() time.Duration {
 
 // OnTimer retransmits any control packets whose deadline has passed.
 func (h *Host) OnTimer(now time.Duration) {
-	for _, a := range h.assocs {
+	for _, a := range h.sortedAssocs() {
 		if a.retransAt == 0 || now < a.retransAt {
 			continue
 		}
@@ -394,7 +405,14 @@ func (h *Host) OnTimer(now time.Duration) {
 			continue
 		}
 		a.retransTries++
-		backoff := h.cfg.RetransmitBase << uint(a.retransTries)
+		// First retry waits the base interval again, doubling from there:
+		// deadlines at base×{1,2,4,8,16} cumulative, so the give-up above
+		// lands at 16×base (8s at the 500ms default) — strictly inside the
+		// drivers' 10s establish timeout, so a Dial blocked on a doomed
+		// base exchange gets EventFailed rather than hanging to its own
+		// deadline. (The previous shift doubled the first retry too and
+		// gave up only at 31×base = 15.5s, past the timeout.)
+		backoff := h.cfg.RetransmitBase << uint(a.retransTries-1)
 		a.retransAt = now + backoff
 		h.emit(a.retransDst, a.retransPkt)
 	}

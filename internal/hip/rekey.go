@@ -14,22 +14,37 @@ import (
 // exhaustion; kept modest so long-lived associations rotate keys).
 const DefaultRekeyThreshold = 1 << 24
 
-// rekeyThreshold returns the configured or default rekey point.
+// rekeyHeadroom is the minimum gap enforced between the rekey threshold
+// and outbound sequence saturation (2^32−1, where SealAppend starts
+// failing with esp.ErrSeqExhausted): the rekey exchange itself takes a
+// round trip plus retransmissions, during which data keeps flowing on the
+// old SA. A threshold configured at or past the limit would otherwise
+// only fire once sends are already failing.
+const rekeyHeadroom = 1 << 16
+
+// rekeyThreshold returns the configured or default rekey point, clamped
+// to leave rekeyHeadroom sequence numbers before saturation.
 func (h *Host) rekeyThreshold() uint32 {
-	if h.cfg.RekeyThreshold > 0 {
-		return h.cfg.RekeyThreshold
+	t := h.cfg.RekeyThreshold
+	if t == 0 {
+		t = DefaultRekeyThreshold
 	}
-	return DefaultRekeyThreshold
+	if max := ^uint32(0) - rekeyHeadroom; t > max {
+		t = max
+	}
+	return t
 }
 
 // Maintain performs periodic association upkeep: it starts an ESP rekey
 // on any association whose outbound sequence numbers crossed the
-// threshold. Drivers call it from their timer loops. Only the original
-// base-exchange initiator starts rekeys, which keeps the two ends from
-// rekeying simultaneously and desynchronizing the KEYMAT stream.
+// threshold. Drivers call it from their timer loops. Either end may
+// notice its own outbound SA aging out (asymmetric traffic means the
+// responder's counter can run far ahead of the initiator's); simultaneous
+// rekeys are resolved in handleRekeyRequest, where the base-exchange
+// initiator's rekey wins and the responder abandons its own.
 func (h *Host) Maintain(now time.Duration) {
-	for _, a := range h.assocs {
-		if a.state != Established || !a.initiator || a.rekeying || a.espPair == nil || a.km == nil {
+	for _, a := range h.sortedAssocs() {
+		if a.state != Established || a.rekeying || a.espPair == nil || a.km == nil {
 			continue
 		}
 		if a.espPair.Out.Seq() >= h.rekeyThreshold() {
@@ -38,8 +53,9 @@ func (h *Host) Maintain(now time.Duration) {
 	}
 }
 
-// ForceRekey immediately starts an ESP rekey with the peer (initiator
-// side only; responders rekey when asked).
+// ForceRekey immediately starts an ESP rekey with the peer. Either end
+// may call it; a collision with the peer's own rekey resolves in
+// handleRekeyRequest (base-exchange initiator wins).
 func (h *Host) ForceRekey(peerHIT netip.Addr, now time.Duration) error {
 	a, ok := h.assocs[peerHIT]
 	if !ok {
@@ -94,6 +110,21 @@ func (h *Host) handleRekeyRequest(a *Association, pkt *hipwire.Packet, src netip
 	}
 	if ei.OldSPI != a.remoteSPI {
 		return false
+	}
+	// Simultaneous rekey: both ends crossed the threshold and sent
+	// UPDATE{ESP_INFO,SEQ} before seeing the other's. Serving both would
+	// double-draw the KEYMAT stream and desynchronize keys, so exactly one
+	// side must yield; the base-exchange initiator's rekey wins (a stable,
+	// mutually known tie-break). As initiator we drop the peer's request —
+	// it abandons its own on receiving ours; as responder we abandon ours
+	// here and serve the peer's.
+	if a.rekeying {
+		if a.initiator {
+			return true
+		}
+		a.rekeying = false
+		a.pendingRekey = 0
+		a.cancelRetrans()
 	}
 	peerSeq, err := hipwire.ParseSeq(seqP.Data)
 	if err != nil {

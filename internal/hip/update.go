@@ -14,7 +14,7 @@ import (
 // redirecting data to it (RFC 5206 return-routability).
 func (h *Host) MoveTo(newLocator netip.Addr, now time.Duration) {
 	h.locator = newLocator
-	for _, a := range h.assocs {
+	for _, a := range h.sortedAssocs() {
 		if a.state != Established {
 			continue
 		}

@@ -319,6 +319,80 @@ func TestMigrationKeepsConnection(t *testing.T) {
 	}
 }
 
+func TestDialSurfacesGiveUpUnderTotalLoss(t *testing.T) {
+	// 100% loss: every I1 retransmission vanishes. After the host's 4
+	// retries it abandons the association and fires EventFailed; a Dial
+	// blocked in Establish must surface that as ErrBEXFailed promptly
+	// rather than hanging until its own BEXTimeout. RetransmitBase 20ms
+	// puts the give-up at 16×20ms = 320ms, far from the 10s timeout.
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	a := n.AddNode("a", 2, 1)
+	b := n.AddNode("b", 2, 1)
+	n.Connect(a, addrA, b, addrB, netsim.Link{Latency: time.Millisecond, LossProb: 1})
+	reg := NewRegistry()
+	ha, _ := hip.NewHost(hip.Config{Identity: idA, Locator: addrA, RetransmitBase: 20 * time.Millisecond})
+	hb, _ := hip.NewHost(hip.Config{Identity: idB, Locator: addrB})
+	fa := New(a, ha, reg)
+	New(b, hb, reg)
+	sa := simtcp.NewStack(a, fa)
+
+	var dialErr error
+	var failedAt netsim.VTime
+	s.Spawn("client", func(p *netsim.Proc) {
+		_, dialErr = sa.Dial(p, idB.HIT(), 80, 10*time.Second)
+		failedAt = p.Now()
+	})
+	s.Run(time.Minute)
+	s.Shutdown()
+	if dialErr != ErrBEXFailed {
+		t.Fatalf("dial err = %v, want ErrBEXFailed", dialErr)
+	}
+	if failedAt >= fa.BEXTimeout {
+		t.Fatalf("dial failed only at %v, not before BEXTimeout %v (hung to its own timeout)", failedAt, fa.BEXTimeout)
+	}
+	if failedAt > 2*time.Second {
+		t.Fatalf("dial failed at %v, want ≲620ms (the host's give-up point)", failedAt)
+	}
+	if _, alive := ha.Association(idB.HIT()); alive {
+		t.Fatal("abandoned association still present")
+	}
+}
+
+func TestDialGiveUpBeatsBEXTimeoutWithDefaults(t *testing.T) {
+	// Same scenario with the DEFAULT retransmission schedule: the host's
+	// give-up (16×500ms = 8s) must land strictly before the fabric's 10s
+	// BEXTimeout, so the caller learns the real failure mode. Before the
+	// schedule fix the give-up sat at 15.5s and every total-loss Dial
+	// surfaced a generic timeout instead.
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	a := n.AddNode("a", 2, 1)
+	b := n.AddNode("b", 2, 1)
+	n.Connect(a, addrA, b, addrB, netsim.Link{Latency: time.Millisecond, LossProb: 1})
+	reg := NewRegistry()
+	ha, _ := hip.NewHost(hip.Config{Identity: idA, Locator: addrA})
+	hb, _ := hip.NewHost(hip.Config{Identity: idB, Locator: addrB})
+	fa := New(a, ha, reg)
+	New(b, hb, reg)
+	sa := simtcp.NewStack(a, fa)
+
+	var dialErr error
+	var failedAt netsim.VTime
+	s.Spawn("client", func(p *netsim.Proc) {
+		_, dialErr = sa.Dial(p, idB.HIT(), 80, 30*time.Second)
+		failedAt = p.Now()
+	})
+	s.Run(time.Minute)
+	s.Shutdown()
+	if dialErr != ErrBEXFailed {
+		t.Fatalf("dial err = %v at %v, want ErrBEXFailed", dialErr, failedAt)
+	}
+	if failedAt >= fa.BEXTimeout {
+		t.Fatalf("give-up at %v is not before BEXTimeout %v", failedAt, fa.BEXTimeout)
+	}
+}
+
 func TestRegistryResolve(t *testing.T) {
 	reg := NewRegistry()
 	lsi := reg.Register(idA.HIT(), addrA)

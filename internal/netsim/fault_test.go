@@ -1,0 +1,273 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestLinkDownDropsEverything(t *testing.T) {
+	s := New(1)
+	n, a, b := twoHosts(s, Link{Latency: time.Millisecond})
+	l := n.LinkBetween(a, b)
+	bs := b.MustBindUDP(7)
+	var got int
+	s.Spawn("rx", func(p *Proc) {
+		for {
+			if _, err := bs.RecvFrom(p, 50*time.Millisecond); err != nil {
+				return
+			}
+			got++
+		}
+	})
+	as := a.MustBindUDP(0)
+	dst := netip.AddrPortFrom(mustAddr("10.0.0.2"), 7)
+	s.Spawn("tx", func(p *Proc) {
+		as.SendTo(dst, []byte("up1"))
+		p.Sleep(10 * time.Millisecond)
+		l.Down = true
+		as.SendTo(dst, []byte("down"))
+		p.Sleep(10 * time.Millisecond)
+		l.Down = false
+		as.SendTo(dst, []byte("up2"))
+	})
+	s.Run(0)
+	if got != 2 {
+		t.Fatalf("delivered %d packets, want 2 (one dropped while link down)", got)
+	}
+	if l.Drops() != 1 {
+		t.Fatalf("link drops = %d, want 1", l.Drops())
+	}
+}
+
+func TestFaultDropDecision(t *testing.T) {
+	s := New(1)
+	n, a, b := twoHosts(s, Link{Latency: time.Millisecond})
+	l := n.LinkBetween(a, b)
+	var seen int
+	l.Fault = func(pkt *Packet) FaultDecision {
+		seen++
+		return FaultDecision{Drop: seen == 1} // drop only the first
+	}
+	bs := b.MustBindUDP(7)
+	var got []string
+	s.Spawn("rx", func(p *Proc) {
+		for {
+			dg, err := bs.RecvFrom(p, 50*time.Millisecond)
+			if err != nil {
+				return
+			}
+			got = append(got, string(dg.Payload))
+		}
+	})
+	as := a.MustBindUDP(0)
+	dst := netip.AddrPortFrom(mustAddr("10.0.0.2"), 7)
+	s.Spawn("tx", func(p *Proc) {
+		as.SendTo(dst, []byte("one"))
+		as.SendTo(dst, []byte("two"))
+	})
+	s.Run(0)
+	if len(got) != 1 || got[0] != "two" {
+		t.Fatalf("delivered %v, want [two]", got)
+	}
+}
+
+// TestFaultCorruptDeliversCopy checks both corruption semantics: the
+// receiver sees exactly one flipped bit, and the sender-retained buffer
+// (a retransmission queue, in real use) is untouched because corruption
+// clones the payload rather than mutating it in place.
+func TestFaultCorruptDeliversCopy(t *testing.T) {
+	s := New(1)
+	n, a, b := twoHosts(s, Link{Latency: time.Millisecond})
+	l := n.LinkBetween(a, b)
+	l.Fault = func(pkt *Packet) FaultDecision { return FaultDecision{Corrupt: true} }
+	original := []byte("retained by sender")
+	sent := append([]byte(nil), original...)
+	bs := b.MustBindUDP(7)
+	var got []byte
+	s.Spawn("rx", func(p *Proc) {
+		dg, err := bs.RecvFrom(p, 0)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		got = dg.Payload
+	})
+	as := a.MustBindUDP(0)
+	s.Spawn("tx", func(p *Proc) {
+		as.SendTo(netip.AddrPortFrom(mustAddr("10.0.0.2"), 7), sent)
+	})
+	s.Run(0)
+	if string(sent) != string(original) {
+		t.Fatalf("sender buffer mutated: %q", sent)
+	}
+	if len(got) != len(original) {
+		t.Fatalf("len(got) = %d, want %d", len(got), len(original))
+	}
+	diffBits := 0
+	for i := range got {
+		for x := got[i] ^ original[i]; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("payload differs in %d bits, want exactly 1 (got %q)", diffBits, got)
+	}
+}
+
+func TestFaultDuplicate(t *testing.T) {
+	s := New(1)
+	n, a, b := twoHosts(s, Link{Latency: time.Millisecond})
+	l := n.LinkBetween(a, b)
+	l.Fault = func(pkt *Packet) FaultDecision { return FaultDecision{Duplicate: true} }
+	bs := b.MustBindUDP(7)
+	var got int
+	s.Spawn("rx", func(p *Proc) {
+		for {
+			if _, err := bs.RecvFrom(p, 50*time.Millisecond); err != nil {
+				return
+			}
+			got++
+		}
+	})
+	as := a.MustBindUDP(0)
+	s.Spawn("tx", func(p *Proc) {
+		as.SendTo(netip.AddrPortFrom(mustAddr("10.0.0.2"), 7), []byte("dup"))
+	})
+	s.Run(0)
+	if got != 2 {
+		t.Fatalf("delivered %d copies, want 2", got)
+	}
+}
+
+func TestFaultDelayReorders(t *testing.T) {
+	s := New(1)
+	n, a, b := twoHosts(s, Link{Latency: time.Millisecond})
+	l := n.LinkBetween(a, b)
+	first := true
+	l.Fault = func(pkt *Packet) FaultDecision {
+		if first {
+			first = false
+			return FaultDecision{Delay: 20 * time.Millisecond}
+		}
+		return FaultDecision{}
+	}
+	bs := b.MustBindUDP(7)
+	var got []string
+	s.Spawn("rx", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			dg, err := bs.RecvFrom(p, 0)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got = append(got, string(dg.Payload))
+		}
+	})
+	as := a.MustBindUDP(0)
+	dst := netip.AddrPortFrom(mustAddr("10.0.0.2"), 7)
+	s.Spawn("tx", func(p *Proc) {
+		as.SendTo(dst, []byte("first"))
+		as.SendTo(dst, []byte("second"))
+	})
+	s.Run(0)
+	if len(got) != 2 || got[0] != "second" || got[1] != "first" {
+		t.Fatalf("arrival order %v, want [second first]", got)
+	}
+}
+
+func TestNodeDownNeitherSendsNorReceives(t *testing.T) {
+	s := New(1)
+	_, a, b := twoHosts(s, Link{Latency: time.Millisecond})
+	bs := b.MustBindUDP(7)
+	var got int
+	s.Spawn("rx", func(p *Proc) {
+		for {
+			if _, err := bs.RecvFrom(p, 100*time.Millisecond); err != nil {
+				return
+			}
+			got++
+		}
+	})
+	as := a.MustBindUDP(0)
+	dst := netip.AddrPortFrom(mustAddr("10.0.0.2"), 7)
+	s.Spawn("tx", func(p *Proc) {
+		as.SendTo(dst, []byte("1")) // delivered
+		p.Sleep(5 * time.Millisecond)
+		a.Down = true
+		as.SendTo(dst, []byte("2")) // sender down: dropped at origin
+		p.Sleep(5 * time.Millisecond)
+		a.Down = false
+		b.Down = true
+		as.SendTo(dst, []byte("3")) // receiver down: dropped on arrival
+		p.Sleep(5 * time.Millisecond)
+		b.Down = false
+		as.SendTo(dst, []byte("4")) // delivered
+	})
+	s.Run(0)
+	if got != 2 {
+		t.Fatalf("delivered %d packets, want 2", got)
+	}
+}
+
+func TestNATReset(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s)
+	inside := n.AddNode("inside", 1, 1)
+	natNode := n.AddNode("nat", 2, 10)
+	server := n.AddNode("server", 1, 1)
+	n.Connect(inside, mustAddr("192.168.0.2"), natNode, mustAddr("192.168.0.1"), Link{})
+	n.Connect(natNode, mustAddr("203.0.113.1"), server, mustAddr("198.51.100.1"), Link{})
+	inside.AddDefaultRoute(mustAddr("192.168.0.1"))
+	server.AddDefaultRoute(mustAddr("203.0.113.1"))
+	nat := natNode.EnableNAT(NATFullCone, mustAddr("192.168.0.1"))
+
+	ss := server.MustBindUDP(53)
+	var ext []netip.AddrPort
+	s.Spawn("server", func(p *Proc) {
+		for {
+			dg, err := ss.RecvFrom(p, 100*time.Millisecond)
+			if err != nil {
+				return
+			}
+			ext = append(ext, dg.Src)
+		}
+	})
+	cs := inside.MustBindUDP(4000)
+	dst := netip.AddrPortFrom(mustAddr("198.51.100.1"), 53)
+	s.Spawn("client", func(p *Proc) {
+		cs.SendTo(dst, []byte("a"))
+		p.Sleep(10 * time.Millisecond)
+		nat.Reset()
+		if nat.Mappings() != 0 {
+			t.Errorf("mappings after reset = %d, want 0", nat.Mappings())
+		}
+		cs.SendTo(dst, []byte("b"))
+	})
+	s.Run(0)
+	if len(ext) != 2 {
+		t.Fatalf("server saw %d packets, want 2", len(ext))
+	}
+	if ext[0] == ext[1] {
+		t.Fatalf("external mapping survived reset: %v", ext)
+	}
+}
+
+func TestCPUStallBlocksWork(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s)
+	a := n.AddNode("a", 1, 1)
+	var done VTime
+	s.Spawn("staller", func(p *Proc) {
+		a.CPU().Stall(p, 30*time.Millisecond)
+	})
+	s.Spawn("worker", func(p *Proc) {
+		p.Sleep(time.Millisecond) // let the staller grab the core first
+		a.CPU().Use(p, time.Millisecond)
+		done = p.Now()
+	})
+	s.Run(0)
+	if done < 30*time.Millisecond {
+		t.Fatalf("work finished at %v, want after the 30ms stall", done)
+	}
+}

@@ -116,6 +116,15 @@ func (n *NAT) Mappings() int { return len(n.byKey) }
 // SetTimeout configures mapping expiry (default 2 minutes).
 func (n *NAT) SetTimeout(d time.Duration) { n.timeout = d }
 
+// Reset discards every active mapping (a middlebox reboot / conntrack
+// flush — the NAT-rebinding fault of internal/faults). Inbound packets
+// for old mappings drop until the inside host transmits again, and the
+// re-punched mapping lands on a fresh external port.
+func (n *NAT) Reset() {
+	n.byKey = make(map[natKey]*natMapping)
+	n.byExt = make(map[uint16]*natMapping)
+}
+
 // process translates pkt arriving on iface in. It returns the (possibly
 // rewritten) packet to continue routing, or nil if the packet is dropped.
 func (n *NAT) process(in *Iface, pkt *Packet) *Packet {

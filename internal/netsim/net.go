@@ -97,6 +97,18 @@ type Node struct {
 	// VLAN segmentation and firewall middleboxes.
 	Filter func(pkt *Packet) bool
 
+	// Down, when true, detaches the node from the network: it neither
+	// sends nor receives (a crashed VM / powered-off host). Processes on
+	// the node keep running; only its traffic dies. Toggled by
+	// fault-injection layers (internal/faults, cloud.Crash).
+	Down bool
+
+	// FaultFilter, when non-nil, inspects every packet arriving at the
+	// node ahead of Filter; returning false drops it. It is the
+	// fault-injection analogue of Filter (partitions), kept separate so
+	// injected faults never clobber a deployment's VLAN/firewall policy.
+	FaultFilter func(pkt *Packet) bool
+
 	// Stats
 	rxPackets, txPackets uint64
 	rxBytes, txBytes     uint64
@@ -136,9 +148,38 @@ type Link struct {
 	// would wait longer are dropped (tail drop). Zero means unlimited.
 	QueueLimit time.Duration
 
+	// Down, when true, drops every packet offered to the link in either
+	// direction (carrier loss / pulled cable). Toggled by fault-injection
+	// schedules (internal/faults.FlapLink).
+	Down bool
+
+	// Fault, when non-nil, is consulted per packet after the LossProb
+	// draw and can drop, corrupt, duplicate or delay it (see
+	// FaultDecision). Installed by internal/faults impairment windows;
+	// nil costs nothing on the hot path.
+	Fault func(pkt *Packet) FaultDecision
+
 	a, b    *Iface
 	drops   uint64
 	carried uint64
+}
+
+// FaultDecision is a Link.Fault verdict for one packet.
+type FaultDecision struct {
+	// Drop discards the packet (counted in Link.Drops).
+	Drop bool
+	// Corrupt delivers a bit-flipped copy of the payload instead of the
+	// original. The copy is freshly allocated — never drawn from the
+	// buffer pool — because the receiver recycles what it consumes while
+	// the sender may still retain the original (HIP retransmission
+	// buffers); the original is abandoned in transit (see DESIGN.md §5).
+	Corrupt bool
+	// Duplicate delivers a second copy shortly after the first
+	// (independent of Link.DupProb).
+	Duplicate bool
+	// Delay adds extra one-way latency for this packet only; delaying
+	// some packets past their successors reorders the flow.
+	Delay time.Duration
 }
 
 // Drops reports the number of packets dropped by loss or queue overflow.
@@ -225,6 +266,18 @@ func (n *Network) Connect(a *Node, addrA netip.Addr, b *Node, addrB netip.Addr, 
 	return link
 }
 
+// LinkBetween returns the link directly connecting a and b (the first,
+// when several exist), or nil — the handle fault schedules use to flap or
+// impair a specific hop.
+func (n *Network) LinkBetween(a, b *Node) *Link {
+	for _, i := range a.ifaces {
+		if i.peer != nil && i.peer.node == b {
+			return i.link
+		}
+	}
+	return nil
+}
+
 // AddRoute installs prefix -> nextHop reachable via the interface whose
 // direct peer is nextHop.
 func (nd *Node) AddRoute(prefix netip.Prefix, nextHop netip.Addr) {
@@ -298,6 +351,10 @@ func (nd *Node) SendRaw(proto Proto, src, dst netip.AddrPort, payload []byte, ex
 
 // route forwards or delivers pkt from this node.
 func (nd *Node) route(pkt *Packet) {
+	if nd.Down {
+		nd.net.trace(TraceDrop, nd, pkt, "node down")
+		return
+	}
 	if nd.ownsAddr(pkt.Dst.Addr()) {
 		nd.deliver(pkt)
 		return
@@ -315,10 +372,24 @@ func (nd *Node) route(pkt *Packet) {
 func (nd *Node) transmit(via *Iface, pkt *Packet) {
 	l := via.link
 	s := nd.net.sim
+	if l.Down {
+		l.drops++
+		nd.net.trace(TraceDrop, nd, pkt, "link down")
+		return
+	}
 	if l.LossProb > 0 && s.rng.Float64() < l.LossProb {
 		l.drops++
 		nd.net.trace(TraceDrop, nd, pkt, "loss")
 		return
+	}
+	var fd FaultDecision
+	if l.Fault != nil {
+		fd = l.Fault(pkt)
+		if fd.Drop {
+			l.drops++
+			nd.net.trace(TraceDrop, nd, pkt, "fault drop")
+			return
+		}
 	}
 	start := s.now
 	if via.busyUntil > start {
@@ -334,16 +405,27 @@ func (nd *Node) transmit(via *Iface, pkt *Packet) {
 		return
 	}
 	via.busyUntil = start + tx
-	delay := l.Latency
+	delay := l.Latency + fd.Delay
 	if l.Jitter > 0 {
 		delay += time.Duration(s.rng.Int63n(int64(l.Jitter)))
+	}
+	if fd.Corrupt && len(pkt.Payload) > 0 {
+		// Deliver a corrupted copy, not the original mutated in place:
+		// senders may retain the payload for retransmission (HIP control
+		// packets), so an in-place flip would poison every retry. The
+		// original buffer is abandoned — the link cannot tell whether the
+		// sender still owns it, so it must not recycle it into the pool.
+		bad := *pkt
+		bad.Payload = append([]byte(nil), pkt.Payload...)
+		bad.Payload[s.rng.Intn(len(bad.Payload))] ^= 1 << uint(s.rng.Intn(8))
+		pkt = &bad
 	}
 	arrival := start + tx + delay
 	peer := via.peer
 	l.carried++
 	deliver := func() { peer.node.receive(peer, pkt) }
 	s.At(arrival, deliver)
-	if l.DupProb > 0 && s.rng.Float64() < l.DupProb {
+	if fd.Duplicate || (l.DupProb > 0 && s.rng.Float64() < l.DupProb) {
 		dup := *pkt
 		// The duplicate needs its own payload: receivers may recycle a
 		// packet's body into the buffer pool after consuming it, and two
@@ -359,6 +441,14 @@ func (nd *Node) receive(in *Iface, pkt *Packet) {
 	pkt.TTL--
 	if pkt.TTL <= 0 {
 		nd.net.trace(TraceDrop, nd, pkt, "ttl expired")
+		return
+	}
+	if nd.Down {
+		nd.net.trace(TraceDrop, nd, pkt, "node down")
+		return
+	}
+	if nd.FaultFilter != nil && !nd.FaultFilter(pkt) {
+		nd.net.trace(TraceDrop, nd, pkt, "fault filtered")
 		return
 	}
 	if nd.Filter != nil && !nd.Filter(pkt) {

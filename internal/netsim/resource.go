@@ -98,6 +98,24 @@ func (c *CPU) Use(p *Proc, work time.Duration) {
 	}
 }
 
+// Stall seizes one core exclusively for d of virtual time without
+// quantum slicing: unlike Use, no other process shares the core until it
+// is released. It models a hung core (hypervisor pause, IO stall) rather
+// than scheduled work; internal/faults seizes every core this way for a
+// full backend stall.
+func (c *CPU) Stall(p *Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.cores.Acquire(p)
+	c.busy += d
+	p.Sleep(d)
+	c.cores.Release()
+}
+
+// Cores reports the number of cores.
+func (c *CPU) Cores() int { return c.cores.Capacity() }
+
 // BusyTime reports accumulated core-time consumed.
 func (c *CPU) BusyTime() time.Duration { return c.busy }
 

@@ -112,7 +112,14 @@ func (x *Proxy) pick() (*Backend, error) {
 		}
 	}
 	if len(healthy) == 0 {
-		return nil, ErrNoBackend
+		if len(x.Backends) == 0 {
+			return nil, ErrNoBackend
+		}
+		// Every backend is marked down. Failing fast forever would leave
+		// the proxy dead even after backends recover when no health loop
+		// is running, so route to one anyway: a success flips it healthy
+		// again (passive recovery), a failure costs one more 502.
+		healthy = x.Backends
 	}
 	switch x.Policy {
 	case LeastConn:
@@ -211,31 +218,55 @@ func (x *Proxy) Run(p *netsim.Proc) {
 	}
 }
 
-// forward relays one request to a backend.
+// forward relays one request to a backend. A connection-level failure
+// marks the backend unhealthy immediately (instead of waiting for the
+// next periodic probe) and fails the request over to another backend:
+// always when the request never reached the old one, and for idempotent
+// GETs even when it might have (RFC 7231 §4.2.2 — a replayed GET is
+// safe; anything else surfaces the 502 to the client).
 func (x *Proxy) forward(p *netsim.Proc, req *microhttp.Request) *microhttp.Response {
-	b, err := x.pick()
-	if err != nil {
-		return &microhttp.Response{Status: 503, Body: []byte(err.Error())}
+	var lastErr error
+	for try := 0; try <= len(x.Backends); try++ {
+		b, err := x.pick()
+		if err != nil {
+			return &microhttp.Response{Status: 503, Body: []byte(err.Error())}
+		}
+		resp, sent, err := x.forwardTo(p, b, req)
+		if err == nil {
+			return resp
+		}
+		lastErr = err
+		b.healthy = false
+		if sent && req.Method != "GET" {
+			break
+		}
 	}
+	return &microhttp.Response{Status: 502, Body: []byte(lastErr.Error())}
+}
+
+// forwardTo relays req to one backend. sent reports whether the request
+// may have reached the backend when err != nil (it governs replay safety).
+func (x *Proxy) forwardTo(p *netsim.Proc, b *Backend, req *microhttp.Request) (resp *microhttp.Response, sent bool, err error) {
 	b.active++
 	defer func() { b.active-- }()
 	bc, err := x.acquire(p, b)
 	if err != nil {
-		return &microhttp.Response{Status: 502, Body: []byte(err.Error())}
+		return nil, false, err
 	}
 	fwd := *req
 	fwd.Headers = map[string]string{"X-Forwarded-By": x.Name}
 	for k, v := range req.Headers {
 		fwd.Headers[k] = v
 	}
-	resp, err := microhttp.RoundTrip(bc.c, bc.br, &fwd)
+	resp, err = microhttp.RoundTrip(bc.c, bc.br, &fwd)
 	if err != nil {
 		x.release(b, bc, true)
-		return &microhttp.Response{Status: 502, Body: []byte(err.Error())}
+		return nil, true, err
 	}
 	x.release(b, bc, resp.WantsClose())
 	b.Served++
-	return resp
+	b.healthy = true
+	return resp, true, nil
 }
 
 // healthLoop probes each backend with a cheap request.

@@ -228,6 +228,101 @@ func TestNoBackends503(t *testing.T) {
 	}
 }
 
+// TestBackendCrashFailsOverIdempotentGET crashes a backend while the
+// proxy holds a warm pooled connection to it. The next GET routed there
+// dies mid-request (connection reset after retransmission give-up); the
+// proxy must mark the backend unhealthy immediately and replay the GET
+// on the surviving backend so the client never sees a 5xx.
+func TestBackendCrashFailsOverIdempotentGET(t *testing.T) {
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	lbn := n.AddNode("lb", 4, 4)
+	web1n := n.AddNode("web1", 2, 1)
+	web2n := n.AddNode("web2", 2, 1)
+	clin := n.AddNode("client", 2, 1)
+	r := n.AddRouter("r")
+	n.Connect(lbn, netip.MustParseAddr("10.0.0.1"), r, netip.MustParseAddr("10.0.0.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(web1n, netip.MustParseAddr("10.0.1.1"), r, netip.MustParseAddr("10.0.1.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(web2n, netip.MustParseAddr("10.0.2.1"), r, netip.MustParseAddr("10.0.2.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(clin, netip.MustParseAddr("10.0.3.1"), r, netip.MustParseAddr("10.0.3.254"), netsim.Link{Latency: time.Millisecond})
+	lbn.AddDefaultRoute(netip.MustParseAddr("10.0.0.254"))
+	web1n.AddDefaultRoute(netip.MustParseAddr("10.0.1.254"))
+	web2n.AddDefaultRoute(netip.MustParseAddr("10.0.2.254"))
+	clin.AddDefaultRoute(netip.MustParseAddr("10.0.3.254"))
+
+	mkPlain := func(nd *netsim.Node) *secio.Transport {
+		return &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(nd, simtcp.NewPlainFabric(nd))}
+	}
+	db := rubis.Populate(7, 50, 100)
+	startWeb := func(name string, nd *netsim.Node, selfAddr netip.Addr) {
+		wt := mkPlain(nd)
+		s.Spawn(name+"/db", (&rubis.DBServer{DB: db, Transport: wt}).Run)
+		ws := &rubis.WebServer{
+			Name: name, Config: rubis.DefaultWebConfig, Transport: wt,
+			DB: rubis.NewDBClient(wt, selfAddr, 2),
+		}
+		s.Spawn(name, ws.Run)
+	}
+	startWeb("web1", web1n, netip.MustParseAddr("10.0.1.1"))
+	startWeb("web2", web2n, netip.MustParseAddr("10.0.2.1"))
+
+	front := mkPlain(lbn)
+	back := &secio.Transport{Kind: secio.Basic, Stack: front.Stack, DialTimeout: 300 * time.Millisecond}
+	lb := &Proxy{Name: "lb", Front: front, Back: back}
+	web1B := lb.AddBackend("web1", netip.MustParseAddr("10.0.1.1"), rubis.WebPort)
+	web2B := lb.AddBackend("web2", netip.MustParseAddr("10.0.2.1"), rubis.WebPort)
+	s.Spawn("lb", lb.Run)
+
+	const total = 12
+	var statuses []int
+	cliT := mkPlain(clin)
+	s.Spawn("client", func(p *netsim.Proc) {
+		c, err := cliT.Dial(p, netip.MustParseAddr("10.0.0.1"), FrontPort)
+		if err != nil {
+			t.Errorf("client dial: %v", err)
+			return
+		}
+		defer c.Close()
+		br := bufio.NewReader(c)
+		for i := 0; i < total; i++ {
+			if i == 4 {
+				// Both backends have served and hold warm pooled
+				// connections; kill web1 under the proxy's feet.
+				web1n.Down = true
+			}
+			resp, err := microhttp.RoundTrip(c, br, &microhttp.Request{Method: "GET", Path: "/home"})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			statuses = append(statuses, resp.Status)
+		}
+	})
+	s.Run(10 * time.Minute)
+	s.Shutdown()
+
+	if len(statuses) != total {
+		t.Fatalf("client completed %d of %d requests: %v", len(statuses), total, statuses)
+	}
+	for i, st := range statuses {
+		if st != 200 {
+			t.Fatalf("request %d got status %d (want 200 via failover): %v", i, st, statuses)
+		}
+	}
+	if web1B.Healthy() {
+		t.Fatal("crashed backend still marked healthy")
+	}
+	if !web2B.Healthy() {
+		t.Fatal("surviving backend marked unhealthy")
+	}
+	if web2B.Served < total/2 {
+		t.Fatalf("surviving backend served only %d of %d", web2B.Served, total)
+	}
+	if lb.Errors != 0 {
+		t.Fatalf("proxy surfaced %d errors to clients", lb.Errors)
+	}
+}
+
 func TestHealthCheckMarksDeadBackend(t *testing.T) {
 	s := netsim.New(1)
 	n := netsim.NewNetwork(s)

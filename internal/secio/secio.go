@@ -77,6 +77,11 @@ func (t *Transport) dialTimeout() time.Duration {
 type Conn interface {
 	io.ReadWriteCloser
 	Rebind(p *netsim.Proc)
+	// Abort resets the connection immediately, waking any process blocked
+	// on it with an error. Close is graceful (FIN after the send buffer
+	// drains) and does NOT unblock a stalled reader — watchdogs and
+	// timeout paths must use Abort.
+	Abort()
 }
 
 // charger bills tlslite CPU costs to the node's processor on behalf of
@@ -193,3 +198,6 @@ func (c *tlsConn) Close() error {
 
 // Rebind transfers the carrier stream to another process.
 func (c *tlsConn) Rebind(p *netsim.Proc) { c.bound.Rebind(p) }
+
+// Abort resets the carrier stream immediately.
+func (c *tlsConn) Abort() { c.raw.Abort() }

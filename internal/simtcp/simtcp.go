@@ -557,6 +557,10 @@ func (b *BoundConn) Close() error {
 	return nil
 }
 
+// Abort resets the connection immediately, waking blocked readers and
+// writers with ErrReset.
+func (b *BoundConn) Abort() { b.c.Abort() }
+
 // Conn returns the underlying connection.
 func (b *BoundConn) Conn() *Conn { return b.c }
 

@@ -687,6 +687,13 @@ func (c *Conn) OnTimer(now time.Duration) {
 
 // retransmit resends the earliest unacknowledged segment.
 func (c *Conn) retransmit(now time.Duration) {
+	// Karn's algorithm: once any part of the window is retransmitted, an
+	// ACK covering the timed sequence may be for either transmission, so
+	// the in-flight RTT measurement must be discarded — not just on RTO
+	// (OnTimer clears it too) but also on fast retransmit, which reaches
+	// here without a timeout. Sampling the ambiguous ACK would feed a
+	// wrong RTT into SRTT and collapse or inflate the RTO under loss.
+	c.rttTiming = false
 	if c.finSent && c.sndUna == c.finSeq {
 		c.emit(Segment{Flags: FlagFIN | FlagACK, Seq: c.finSeq, Ack: c.rcvNxt})
 		c.armRTO(now)

@@ -194,6 +194,79 @@ func TestTransferUnderLoss(t *testing.T) {
 	}
 }
 
+func TestKarnFastRetransmitDiscardsRTTSample(t *testing.T) {
+	// Karn's algorithm: after a retransmission, an ACK covering the timed
+	// sequence is ambiguous (original or retransmit?) and must not be
+	// sampled. The RTO path always cleared the measurement; the fast
+	// retransmit path did not, feeding bogus samples to the estimator.
+	h := newHarness(time.Millisecond, 0)
+	h.connect(t)
+	a := h.a
+	data := make([]byte, 5*a.cfg.MSS)
+	if _, err := a.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := a.Poll(h.now)
+	if len(segs) < 4 {
+		t.Fatalf("want ≥4 segments in flight, got %d", len(segs))
+	}
+	if !a.rttTiming {
+		t.Fatal("no RTT measurement armed after packetize")
+	}
+	srttBefore := a.srtt
+
+	// First segment "lost": three duplicate ACKs at sndUna trigger fast
+	// retransmit of the timed segment.
+	dup := Segment{Flags: FlagACK, Ack: a.sndUna, Window: 65535}
+	for i := 0; i < 3; i++ {
+		a.OnSegment(dup, h.now+time.Duration(i)*time.Millisecond)
+	}
+	if a.FastRetransmits != 1 {
+		t.Fatalf("fast retransmits = %d, want 1", a.FastRetransmits)
+	}
+	if a.rttTiming {
+		t.Fatal("Karn violation: RTT measurement still armed after fast retransmit")
+	}
+
+	// The cumulative ACK arrives suspiciously late — if it were sampled,
+	// SRTT would jump to ~3s. It must be ignored.
+	late := h.now + 3*time.Second
+	a.OnSegment(Segment{Flags: FlagACK, Ack: a.sndNxt, Window: 65535}, late)
+	if a.srtt != srttBefore {
+		t.Fatalf("ambiguous ACK was sampled: srtt %v -> %v", srttBefore, a.srtt)
+	}
+}
+
+func TestRTOConvergesUnderLoss(t *testing.T) {
+	// On a 2ms lossy link the RTT estimator must converge to the real
+	// ~4ms RTT instead of drifting on ambiguous retransmission samples;
+	// a poisoned estimator shows up as a wildly inflated SRTT/RTO.
+	h := newHarness(2*time.Millisecond, 0.08)
+	h.connect(t)
+	data := make([]byte, 120_000)
+	rand.New(rand.NewSource(9)).Read(data)
+	got := h.transfer(t, h.a, h.b, data, 5*time.Minute)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("lossy transfer mismatch: got %d bytes, want %d", len(got), len(data))
+	}
+	if h.a.Retransmits == 0 && h.a.FastRetransmits == 0 {
+		t.Fatal("expected retransmissions under 8% loss")
+	}
+	if h.a.SRTT() > 20*time.Millisecond {
+		t.Errorf("SRTT = %v did not converge near the 4ms path RTT", h.a.SRTT())
+	}
+	// One clean exchange collapses any in-progress timeout backoff; the
+	// recomputed RTO must then sit near srtt+4·rttvar, not seconds out.
+	h.loss = 0
+	clean := h.transfer(t, h.a, h.b, []byte("resample"), time.Minute)
+	if string(clean) != "resample" {
+		t.Fatalf("clean resample transfer got %q", clean)
+	}
+	if h.a.rto > 200*time.Millisecond {
+		t.Errorf("RTO = %v after resample, want near the 4ms path RTT", h.a.rto)
+	}
+}
+
 func TestTransferWithReordering(t *testing.T) {
 	h := newHarness(time.Millisecond, 0)
 	h.reorder = 3 * time.Millisecond

@@ -99,7 +99,9 @@ func (w *ClosedLoop) Run(sim *netsim.Sim) *Result {
 
 // roundTripTimeout performs one HTTP exchange, giving up after timeout.
 // Simulated reads have no deadline support at this layer, so the timeout
-// is enforced with a watchdog that aborts the connection.
+// is enforced with a watchdog that aborts the connection. Abort (not
+// Close) is required: a graceful close never unblocks a reader stalled
+// on a dead server, so the client would hang instead of timing out.
 func roundTripTimeout(p *netsim.Proc, conn secio.Conn, br *bufio.Reader, req *microhttp.Request, timeout time.Duration) (*microhttp.Response, error) {
 	sim := p.Sim()
 	done := false
@@ -107,7 +109,7 @@ func roundTripTimeout(p *netsim.Proc, conn secio.Conn, br *bufio.Reader, req *mi
 	sim.After(timeout, func() {
 		if !done {
 			fired = true
-			conn.Close()
+			conn.Abort()
 		}
 	})
 	resp, err := microhttp.RoundTrip(conn, br, req)
