@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check lint vet build test race bench-smoke fuzz-smoke chaos-smoke bench
+.PHONY: all check lint vet build test race bench-smoke fuzz-smoke chaos-smoke bench bench-full
 
 all: check
 
@@ -44,8 +44,12 @@ race:
 
 # Fast allocation smoke: the Seal/Record benches report B/op and allocs/op;
 # the AllocsPerRun guard tests (run by `test`) enforce the 0-alloc contract.
+# The scheduler microbenches ride along so a regression in the
+# run-to-completion core (event dispatch, timer churn) shows up in B/op
+# before it shows up in BENCH_SIM.json.
 bench-smoke:
-	$(GO) test -run=NONE -bench='Seal|Record' -benchtime=10x -benchmem \
+	$(GO) test -run=NONE -bench='Seal|Record|EventThroughput|TimerResetFire|ProcSleepWake' \
+		-benchtime=10x -benchmem \
 		./internal/esp ./internal/tlslite ./internal/keymat ./internal/netsim
 
 # Short fuzz pass over every wire-format fuzz target (go test allows one
@@ -66,6 +70,14 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/benchcloud -run chaos -short -seed 1
 
-# Full benchmark sweep, including the paper-figure reproductions.
+# Regenerate the tracked scheduler benchmark snapshot: microbench
+# latencies plus fig2/chaos short-run wall clock, against the recorded
+# pre-rewrite baseline. Commit the refreshed BENCH_SIM.json when the
+# numbers move for a reason.
 bench:
+	$(GO) run ./cmd/benchcloud -run simbench -json > BENCH_SIM.json
+	@cat BENCH_SIM.json
+
+# Full Go benchmark sweep, including the paper-figure reproductions.
+bench-full:
 	$(GO) test -run=NONE -bench . -benchmem ./...

@@ -9,14 +9,18 @@
 //	benchcloud -run dos       §IV-B: BEX flood, fixed vs adaptive puzzles
 //	benchcloud -run chaos     fault schedule: request loss + recovery per scenario
 //	benchcloud -run all       everything above
+//	benchcloud -run simbench  scheduler throughput + experiment wall clock
+//	                          (not part of `all`; -json emits BENCH_SIM.json)
 //
 // Durations are virtual time; -short trims them for quick runs.
+// -cpuprofile writes a pprof CPU profile covering the selected runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,10 +29,25 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: fig2|rtt|fig3|private|bex|dos|chaos|all")
+	run := flag.String("run", "all", "experiment: fig2|rtt|fig3|private|bex|dos|chaos|simbench|all")
 	short := flag.Bool("short", false, "shorter virtual durations")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	jsonOut := flag.Bool("json", false, "simbench: emit the BENCH_SIM.json document on stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	dur := 30 * time.Second
 	if *short {
@@ -101,6 +120,10 @@ func main() {
 		fmt.Println("running chaos fault schedule (3 scenarios)...")
 		_, tbl := experiments.RunChaos(experiments.ChaosConfig{Duration: chaosDur, Seed: *seed})
 		fmt.Println(tbl)
+	}
+	if strings.Contains(*run, "simbench") {
+		ran = true
+		runSimBench(*seed, *jsonOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)

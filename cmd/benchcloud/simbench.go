@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hipcloud/internal/experiments"
+	"hipcloud/internal/netsim"
+)
+
+// simBenchBaseline records the measurements taken on this machine
+// immediately before the run-to-completion rewrite (parked-goroutine
+// packet pumps over a closure-allocating binary heap), so BENCH_SIM.json
+// always carries its own point of comparison.
+var simBenchBaseline = simBenchNumbers{
+	DenseEventNs:    125.0,
+	ProcHandoffNs:   891.5,
+	Fig2ShortWallS:  29.4,
+	ChaosShortWallS: 3.3,
+}
+
+// simBenchNumbers is one column of BENCH_SIM.json: scheduler microbench
+// latencies plus end-to-end wall clock for the two tracked experiments.
+type simBenchNumbers struct {
+	// DenseEventNs is ns per fired event with the queue kept hot by
+	// self-rescheduling handlers — raw scheduler dispatch cost.
+	DenseEventNs float64 `json:"dense_event_ns_per_op"`
+	// TimerResetFireNs is ns per Reset+fire cycle including a superseded
+	// deadline (the simtcp/hipsim service-loop pattern). Zero in the
+	// baseline column: the old scheduler had no re-armable Timer.
+	TimerResetFireNs float64 `json:"timer_reset_fire_ns_per_op,omitempty"`
+	// SleepWakeNs is ns per Proc.Sleep round trip (park, wheel, resume).
+	SleepWakeNs float64 `json:"sleep_wake_ns_per_op,omitempty"`
+	// ProcHandoffNs is ns per two-process wait-queue round trip — the
+	// cost every packet paid pre-rewrite, now only process code pays.
+	ProcHandoffNs float64 `json:"proc_handoff_ns_per_op"`
+	// Fig2ShortWallS / ChaosShortWallS are wall-clock seconds for
+	// `-run fig2 -short` and `-run chaos -short` at seed 1.
+	Fig2ShortWallS  float64 `json:"fig2_short_wall_s"`
+	ChaosShortWallS float64 `json:"chaos_short_wall_s"`
+}
+
+// simBenchReport is the BENCH_SIM.json document.
+type simBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	Seed        int64  `json:"seed"`
+	// Baseline is the pre-rewrite measurement this report compares
+	// against; Current is this run.
+	Baseline simBenchNumbers `json:"baseline_pre_rewrite"`
+	Current  simBenchNumbers `json:"current"`
+	// DenseEventsPerSec is Current.DenseEventNs as a rate, for the
+	// headline "events per second" number.
+	DenseEventsPerSec float64 `json:"dense_events_per_sec"`
+	// Speedup columns: baseline / current, so >1 is faster.
+	SpeedupDenseEvents float64 `json:"speedup_dense_events"`
+	// SpeedupHotPath compares the old per-packet cost (goroutine
+	// handoff) against the new one (run-to-completion dispatch): the
+	// packet pumps moved between those two regimes.
+	SpeedupHotPath  float64 `json:"speedup_hot_path"`
+	SpeedupFig2Wall float64 `json:"speedup_fig2_wall"`
+	SpeedupChaos    float64 `json:"speedup_chaos_wall"`
+}
+
+// benchDenseEvents measures raw dispatch: n self-rescheduling events.
+func benchDenseEvents(seed int64, n int) float64 {
+	s := netsim.New(seed)
+	fired := 0
+	var fn func()
+	fn = func() {
+		fired++
+		if fired < n {
+			s.After(time.Microsecond, fn)
+		}
+	}
+	s.After(0, fn)
+	start := time.Now()
+	s.Run(0)
+	return float64(time.Since(start)) / float64(n)
+}
+
+// benchTimerResetFire measures the service-loop deadline pattern: a timer
+// re-arming itself twice per fire (one superseded deadline per cycle).
+func benchTimerResetFire(seed int64, n int) float64 {
+	s := netsim.New(seed)
+	fired := 0
+	var tm *netsim.Timer
+	tm = s.NewTimer(func() {
+		fired++
+		if fired < n {
+			tm.Reset(s.Now() + 20*time.Microsecond)
+			tm.Reset(s.Now() + 10*time.Microsecond)
+		}
+	})
+	tm.Reset(10 * time.Microsecond)
+	start := time.Now()
+	s.Run(0)
+	return float64(time.Since(start)) / float64(n)
+}
+
+// benchSleepWake measures one process sleeping in a loop.
+func benchSleepWake(seed int64, n int) float64 {
+	s := netsim.New(seed)
+	s.Spawn("sleeper", func(p *netsim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(10 * time.Microsecond)
+		}
+	})
+	start := time.Now()
+	s.Run(0)
+	d := time.Since(start)
+	s.Shutdown()
+	return float64(d) / float64(n)
+}
+
+// benchProcHandoff measures two processes ping-ponging via wait queues.
+func benchProcHandoff(seed int64, n int) float64 {
+	s := netsim.New(seed)
+	q1, q2 := netsim.NewWaitQueue(s), netsim.NewWaitQueue(s)
+	s.Spawn("a", func(p *netsim.Proc) {
+		for i := 0; i < n; i++ {
+			q1.Wait(p, 0)
+			q2.WakeOne()
+		}
+	})
+	s.Spawn("b", func(p *netsim.Proc) {
+		for i := 0; i < n; i++ {
+			q1.WakeOne()
+			q2.Wait(p, 0)
+		}
+	})
+	start := time.Now()
+	s.Run(0)
+	d := time.Since(start)
+	s.Shutdown()
+	return float64(d) / float64(n)
+}
+
+// runSimBench produces the BENCH_SIM.json report: scheduler microbenches
+// plus wall clock for the short fig2 and chaos runs (stderr keeps the
+// human progress so stdout stays valid JSON for redirection).
+func runSimBench(seed int64, jsonOut bool) {
+	progress := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep := simBenchReport{
+		GeneratedBy: "go run ./cmd/benchcloud -run simbench -json (via make bench)",
+		GoVersion:   runtime.Version(),
+		Seed:        seed,
+		Baseline:    simBenchBaseline,
+	}
+
+	progress("simbench: dense events...")
+	rep.Current.DenseEventNs = benchDenseEvents(seed, 5_000_000)
+	progress("simbench: timer reset+fire...")
+	rep.Current.TimerResetFireNs = benchTimerResetFire(seed, 2_000_000)
+	progress("simbench: proc sleep/wake...")
+	rep.Current.SleepWakeNs = benchSleepWake(seed, 1_000_000)
+	progress("simbench: proc handoff...")
+	rep.Current.ProcHandoffNs = benchProcHandoff(seed, 500_000)
+
+	progress("simbench: fig2 -short wall clock (3 scenarios x 8 client counts)...")
+	start := time.Now()
+	experiments.RunFig2(experiments.Fig2Config{Duration: 8 * time.Second, Seed: seed})
+	rep.Current.Fig2ShortWallS = time.Since(start).Seconds()
+
+	progress("simbench: chaos -short wall clock (3 scenarios)...")
+	start = time.Now()
+	experiments.RunChaos(experiments.ChaosConfig{Duration: 12 * time.Second, Seed: seed})
+	rep.Current.ChaosShortWallS = time.Since(start).Seconds()
+
+	rep.DenseEventsPerSec = 1e9 / rep.Current.DenseEventNs
+	rep.SpeedupDenseEvents = rep.Baseline.DenseEventNs / rep.Current.DenseEventNs
+	rep.SpeedupHotPath = rep.Baseline.ProcHandoffNs / rep.Current.DenseEventNs
+	rep.SpeedupFig2Wall = rep.Baseline.Fig2ShortWallS / rep.Current.Fig2ShortWallS
+	rep.SpeedupChaos = rep.Baseline.ChaosShortWallS / rep.Current.ChaosShortWallS
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("scheduler: dense %.1f ns/event (%.2fM events/s), timer %.1f ns/cycle, sleep/wake %.1f ns, handoff %.1f ns\n",
+		rep.Current.DenseEventNs, rep.DenseEventsPerSec/1e6,
+		rep.Current.TimerResetFireNs, rep.Current.SleepWakeNs, rep.Current.ProcHandoffNs)
+	fmt.Printf("wall clock: fig2 -short %.1fs (was %.1fs), chaos -short %.1fs (was %.1fs)\n",
+		rep.Current.Fig2ShortWallS, rep.Baseline.Fig2ShortWallS,
+		rep.Current.ChaosShortWallS, rep.Baseline.ChaosShortWallS)
+	fmt.Printf("speedup: %.1fx dense events, %.1fx hot path vs goroutine handoff, %.1fx fig2, %.1fx chaos\n",
+		rep.SpeedupDenseEvents, rep.SpeedupHotPath, rep.SpeedupFig2Wall, rep.SpeedupChaos)
+}

@@ -102,6 +102,7 @@ func All() []*Analyzer {
 		BufOwn,
 		AppendAlias,
 		SimDet,
+		SchedBlock,
 		CTCompare,
 		LockedSend,
 	}

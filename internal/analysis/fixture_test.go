@@ -107,6 +107,7 @@ func checkFixture(t *testing.T, fixture string, analyzer *Analyzer) {
 func TestBufOwnFixture(t *testing.T)      { checkFixture(t, "bufown", BufOwn) }
 func TestAppendAliasFixture(t *testing.T) { checkFixture(t, "appendalias", AppendAlias) }
 func TestSimDetFixture(t *testing.T)      { checkFixture(t, "simdet", SimDet) }
+func TestSchedBlockFixture(t *testing.T)  { checkFixture(t, "schedblock", SchedBlock) }
 func TestCTCompareFixture(t *testing.T)   { checkFixture(t, "ctcompare", CTCompare) }
 func TestLockedSendFixture(t *testing.T)  { checkFixture(t, "lockedsend", LockedSend) }
 

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SchedBlock enforces the run-to-completion contract on scheduler-context
+// callbacks: a function literal handed to netsim's scheduler entry points
+// (Sim.At / Sim.After / Sim.NewTimer / WaitQueue.WaitFn / CPU.UseAsync)
+// runs on the scheduler goroutine and must return without blocking — a
+// blocked handler deadlocks the whole simulation, since nothing else can
+// fire until it returns.
+//
+// The repo's API convention makes "blocking" checkable: every API that
+// can park the caller takes an explicit *netsim.Proc (WaitQueue.Wait,
+// CPU.Use, Conn.Read/Write, Dial/Accept, ...), and the one exception is
+// the method Proc.Sleep. So inside a scheduler-context literal the check
+// flags any call that passes a *Proc argument, plus Proc.Sleep itself.
+// Literals passed to Spawn are process context — blocking is their whole
+// point — and are skipped, including when spawned from a handler.
+var SchedBlock = &Analyzer{
+	Name: "schedblock",
+	Doc:  "blocking Proc APIs called from run-to-completion scheduler callbacks",
+	Run:  runSchedBlock,
+}
+
+// schedEntryPoints maps netsim receiver type -> method names whose func
+// arguments run in scheduler context.
+var schedEntryPoints = map[string]map[string]bool{
+	"Sim":       {"At": true, "After": true, "NewTimer": true},
+	"WaitQueue": {"WaitFn": true},
+	"CPU":       {"UseAsync": true},
+}
+
+func runSchedBlock(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if entry := schedEntryName(info, call); entry != "" {
+				for _, arg := range call.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkSchedBody(pass, info, entry, lit.Body)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// schedEntryName returns "Type.Method" when call registers a
+// scheduler-context callback, else "".
+func schedEntryName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || !isNetsimFunc(fn) {
+		return ""
+	}
+	recv := recvTypeName(fn)
+	if schedEntryPoints[recv][fn.Name()] {
+		return recv + "." + fn.Name()
+	}
+	return ""
+}
+
+// isNetsimFunc reports whether fn is declared in the netsim package (by
+// package name, so fixtures declaring `package netsim` exercise the same
+// predicate as the real import path).
+func isNetsimFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Name() == "netsim"
+}
+
+// checkSchedBody walks one scheduler-context body and reports blocking
+// calls. Nested literals stay in scheduler context (they can only run if
+// the handler invokes or re-registers them) except Spawn bodies, which
+// run as processes.
+func checkSchedBody(pass *Pass, info *types.Info, entry string, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn != nil && isNetsimFunc(fn) {
+			switch {
+			case recvTypeName(fn) == "Proc" && fn.Name() == "Spawn",
+				recvTypeName(fn) == "Sim" && fn.Name() == "Spawn":
+				// The spawned literal runs in process context: skip it.
+				// (Other args — the name — can't block; don't descend.)
+				return false
+			case recvTypeName(fn) == "Proc" && fn.Name() == "Sleep":
+				pass.Reportf(call.Pos(), "Proc.Sleep inside a %s callback blocks the scheduler; use Sim.After or a Timer to resume later", entry)
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if isProcPtr(info, arg) {
+				name := callDisplayName(fn, call)
+				pass.Reportf(call.Pos(), "%s takes a *Proc inside a %s callback: Proc APIs park the caller and would block the scheduler; restructure as events or move the call into a spawned process", name, entry)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// isProcPtr reports whether e's static type is *netsim.Proc.
+func isProcPtr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	p, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Proc" && n.Obj().Pkg().Name() == "netsim"
+}
+
+// callDisplayName renders a call target for diagnostics: Type.Method,
+// plain function name, or "call" for dynamic callees.
+func callDisplayName(fn *types.Func, call *ast.CallExpr) string {
+	if fn == nil {
+		return "dynamic call"
+	}
+	if r := recvTypeName(fn); r != "" {
+		return r + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,106 @@
+// Package netsim here is a hiplint fixture: it declares stand-ins for the
+// scheduler types (the schedblock check keys on the netsim package name
+// plus receiver type names) to exercise the run-to-completion rules.
+package netsim
+
+import "time"
+
+type Sim struct{}
+
+func (s *Sim) At(t time.Duration, fn func())       {}
+func (s *Sim) After(d time.Duration, fn func())    {}
+func (s *Sim) NewTimer(fn func()) *Timer           { return nil }
+func (s *Sim) Spawn(name string, fn func(p *Proc)) {}
+func (s *Sim) Now() time.Duration                  { return 0 }
+
+type Timer struct{}
+
+func (t *Timer) Reset(at time.Duration) {}
+func (t *Timer) Stop()                  {}
+
+type Proc struct{}
+
+func (p *Proc) Sleep(d time.Duration)               {}
+func (p *Proc) Now() time.Duration                  { return 0 }
+func (p *Proc) Spawn(name string, fn func(p *Proc)) {}
+
+type WaitQueue struct{}
+
+func (q *WaitQueue) Wait(p *Proc, timeout time.Duration) bool { return false }
+func (q *WaitQueue) WaitFn(fn func())                         {}
+func (q *WaitQueue) WakeOne() bool                            { return false }
+
+type CPU struct{}
+
+func (c *CPU) Use(p *Proc, work time.Duration)          {}
+func (c *CPU) UseAsync(work time.Duration, done func()) {}
+
+type conn struct{}
+
+func (c *conn) Read(p *Proc, b []byte) (int, error) { return 0, nil }
+
+func sleepInHandler(s *Sim, p *Proc) {
+	s.At(0, func() {
+		p.Sleep(time.Millisecond) // want "Proc.Sleep inside a Sim.At callback blocks the scheduler"
+	})
+}
+
+func waitInAfter(s *Sim, q *WaitQueue, p *Proc) {
+	s.After(time.Second, func() {
+		q.Wait(p, 0) // want "WaitQueue.Wait takes a .Proc inside a Sim.After callback"
+	})
+}
+
+func procAPIInTimer(s *Sim, c *conn, p *Proc) {
+	var buf [16]byte
+	s.NewTimer(func() {
+		c.Read(p, buf[:]) // want "conn.Read takes a .Proc inside a Sim.NewTimer callback"
+	})
+}
+
+func cpuUseInWaitFn(q *WaitQueue, cpu *CPU, p *Proc) {
+	q.WaitFn(func() {
+		cpu.Use(p, time.Millisecond) // want "CPU.Use takes a .Proc inside a WaitQueue.WaitFn callback"
+	})
+}
+
+func sleepInUseAsync(cpu *CPU, p *Proc) {
+	cpu.UseAsync(time.Millisecond, func() {
+		p.Sleep(time.Millisecond) // want "Proc.Sleep inside a CPU.UseAsync callback blocks the scheduler"
+	})
+}
+
+func nestedLiteralStillSchedContext(s *Sim, p *Proc) {
+	s.At(0, func() {
+		retry := func() {
+			p.Sleep(time.Millisecond) // want "Proc.Sleep inside a Sim.At callback blocks the scheduler"
+		}
+		retry()
+	})
+}
+
+func spawnBodyIsProcessContextOK(s *Sim, q *WaitQueue) {
+	s.At(0, func() {
+		s.Spawn("worker", func(p *Proc) {
+			p.Sleep(time.Millisecond) // process context: blocking is fine
+			q.Wait(p, 0)
+		})
+	})
+}
+
+func nonBlockingHandlerOK(s *Sim, q *WaitQueue, tm *Timer) {
+	s.After(time.Second, func() {
+		q.WakeOne()
+		tm.Reset(s.Now() + time.Second)
+		s.At(s.Now(), func() {})
+	})
+}
+
+func processContextOK(q *WaitQueue, cpu *CPU) {
+	fn := func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.Wait(p, 0)
+		cpu.Use(p, time.Millisecond)
+	}
+	_ = fn
+}

@@ -57,7 +57,7 @@ func runBEXOnce(alg identity.Algorithm, k uint8, seed int64) (BEXPoint, error) {
 	costs := cloud.HIPCosts(alg == identity.AlgRSA)
 	diff := puzzle.Difficulty{BaseK: k, MaxK: k, LowWater: 1, HighWater: 2}
 	mk := func(vm *cloud.VM) *hipsim.Fabric {
-		id := identity.MustGenerate(alg)
+		id := identity.MustGenerateDeterministic(alg, fmt.Sprintf("bex/%d/%s", seed, vm.Node.Name()))
 		h, err := hip.NewHost(hip.Config{Identity: id, Locator: vm.Addr(), Costs: costs, Puzzle: diff})
 		if err != nil {
 			panic(err)
@@ -116,8 +116,8 @@ func RunPuzzleSweep(ks []uint8, trials int, seed int64) ([]PuzzlePoint, *metrics
 	if trials <= 0 {
 		trials = 16
 	}
-	hitI := identity.MustGenerate(identity.AlgECDSA).HIT()
-	hitR := identity.MustGenerate(identity.AlgECDSA).HIT()
+	hitI := identity.MustGenerateDeterministic(identity.AlgECDSA, "puzzle-sweep/i").HIT()
+	hitR := identity.MustGenerateDeterministic(identity.AlgECDSA, "puzzle-sweep/r").HIT()
 	costs := cloud.HIPCosts(false)
 	tbl := metrics.NewTable("Puzzle difficulty sweep (DoS defense)", "K", "mean attempts", "initiator CPU")
 	var out []PuzzlePoint

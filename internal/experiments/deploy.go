@@ -118,7 +118,7 @@ func Deploy(cfg DeployConfig) *Deployment {
 	mk := func(node *netsim.Node) (*secio.Transport, netip.Addr, *hipsim.Fabric) {
 		switch cfg.Kind {
 		case secio.HIP:
-			id := identity.MustGenerate(alg)
+			id := identity.MustGenerateDeterministic(alg, fmt.Sprintf("deploy/%d/%s", cfg.Seed, node.Name()))
 			h, err := hip.NewHost(hip.Config{
 				Identity: id, Locator: node.Addr(), Costs: cloud.HIPCosts(cfg.UseRSA),
 			})
@@ -130,7 +130,7 @@ func Deploy(cfg DeployConfig) *Deployment {
 			// experiments involving HIP were carried out with LSIs").
 			return &secio.Transport{Kind: secio.HIP, Stack: simtcp.NewStack(node, f)}, d.Reg.LSI(id.HIT()), f
 		case secio.SSL:
-			id := identity.MustGenerate(alg)
+			id := identity.MustGenerateDeterministic(alg, fmt.Sprintf("deploy/%d/%s", cfg.Seed, node.Name()))
 			return &secio.Transport{
 				Kind: secio.SSL, Identity: id, Costs: cloud.TLSCosts(cfg.UseRSA),
 				Stack: simtcp.NewStack(node, simtcp.NewPlainFabric(node)),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"hipcloud/internal/cloud"
@@ -67,7 +68,7 @@ func RunDoS(cfg DoSConfig) (DoSResult, error) {
 		diff = puzzle.Difficulty{BaseK: 1, MaxK: 20, LowWater: 4, HighWater: 60}
 	}
 	reg := hipsim.NewRegistry()
-	victimID := identity.MustGenerate(identity.AlgECDSA)
+	victimID := identity.MustGenerateDeterministic(identity.AlgECDSA, fmt.Sprintf("dos/%d/victim", cfg.Seed))
 	victimHost, err := hip.NewHost(hip.Config{
 		Identity: victimID, Locator: victim.Addr(), Costs: costs, Puzzle: diff,
 	})
@@ -81,7 +82,7 @@ func RunDoS(cfg DoSConfig) (DoSResult, error) {
 	// full asymmetric work every time). Their own CPUs pay for puzzles.
 	for i := 0; i < cfg.Bots; i++ {
 		bot := cl.Zones[0].Launch("bot"+itoa(i), cloud.Micro, tenant)
-		botID := identity.MustGenerate(identity.AlgECDSA)
+		botID := identity.MustGenerateDeterministic(identity.AlgECDSA, fmt.Sprintf("dos/%d/bot%d", cfg.Seed, i))
 		botHost, err := hip.NewHost(hip.Config{Identity: botID, Locator: bot.Addr(), Costs: costs})
 		if err != nil {
 			return res, err
@@ -102,7 +103,7 @@ func RunDoS(cfg DoSConfig) (DoSResult, error) {
 	}
 
 	// The honest client re-associates periodically and measures latency.
-	legitID := identity.MustGenerate(identity.AlgECDSA)
+	legitID := identity.MustGenerateDeterministic(identity.AlgECDSA, fmt.Sprintf("dos/%d/legit", cfg.Seed))
 	legitHost, err := hip.NewHost(hip.Config{Identity: legitID, Locator: legit.Addr(), Costs: costs})
 	if err != nil {
 		return res, err

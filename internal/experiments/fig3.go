@@ -229,7 +229,7 @@ func RunFig3Mode(cfg Fig3Config, mode ConnMode) (Fig3Point, error) {
 // newHIPFabric builds a HIP host+fabric on node; ul selects the underlay
 // (nil = direct IPv4).
 func newHIPFabric(node *netsim.Node, reg *hipsim.Registry, ul hipsim.Underlay) *hipsim.Fabric {
-	id := identity.MustGenerate(identity.AlgRSA)
+	id := identity.MustGenerateDeterministic(identity.AlgRSA, "fig3/"+node.Name())
 	loc := node.Addr()
 	if ul != nil {
 		loc = ul.LocalAddr()

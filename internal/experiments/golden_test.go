@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// checkGolden compares got against the committed testdata golden. Running
+// the tests with UPDATE_GOLDEN=1 rewrites the files instead (review the
+// diff — a golden change means experiment outputs moved).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s — nondeterminism or a behavior change.\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestChaosGoldenShortSeed1 pins the exact table `benchcloud -run chaos
+// -short -seed 1` prints: any nondeterminism (across processes, via the
+// committed golden, or within one, via the immediate re-run) or
+// unintended behavior change fails the test.
+func TestChaosGoldenShortSeed1(t *testing.T) {
+	cfg := ChaosConfig{Duration: 12 * time.Second, Seed: 1}
+	_, tbl := RunChaos(cfg)
+	got := tbl.String()
+	checkGolden(t, "chaos_short_seed1.golden", got)
+	_, tbl2 := RunChaos(cfg)
+	if tbl2.String() != got {
+		t.Fatalf("chaos replay diverged in-process:\n%s\nvs\n%s", got, tbl2)
+	}
+}
+
+// TestFig2GoldenShortSeed1 pins the short fig2 sweep at seed 1 (the
+// committed golden doubles as a cross-process determinism check; the
+// in-process half is covered by the cheaper chaos test above).
+func TestFig2GoldenShortSeed1(t *testing.T) {
+	_, tbl := RunFig2(Fig2Config{
+		Duration: 8 * time.Second, Warmup: time.Second,
+		Clients: []int{4, 50}, Seed: 1,
+	})
+	checkGolden(t, "fig2_short_seed1.golden", tbl.String())
+}

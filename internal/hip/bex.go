@@ -412,7 +412,7 @@ func (h *Host) handleR1(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 	if err != nil {
 		return
 	}
-	priv, err := ecdh.P256().GenerateKey(randReader{h.rng})
+	priv, err := detECDHKey(h.rng)
 	if err != nil {
 		return
 	}

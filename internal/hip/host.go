@@ -247,7 +247,7 @@ func NewHost(cfg Config) (*Host, error) {
 	h.r1Secret = make([]byte, 32)
 	h.rng.Read(h.r1Secret)
 	// Long-lived DH keypair (the "R1 pool" key). Charged as one keygen.
-	priv, err := ecdh.P256().GenerateKey(randReader{h.rng})
+	priv, err := detECDHKey(h.rng)
 	if err != nil {
 		return nil, fmt.Errorf("hip: DH keygen: %w", err)
 	}
@@ -256,17 +256,25 @@ func NewHost(cfg Config) (*Host, error) {
 	return h, nil
 }
 
-// randReader adapts math/rand to io.Reader for deterministic key
-// generation in simulations. Real deployments pass crypto/rand via
-// Config.Rand; determinism of simulated experiments matters more than key
-// secrecy inside the simulator.
-type randReader struct{ r *rand.Rand }
-
-func (rr randReader) Read(p []byte) (int, error) {
-	for i := range p {
-		p[i] = byte(rr.r.Intn(256))
+// detECDHKey derives an ECDH P-256 key from the host RNG by drawing the
+// scalar explicitly. It must NOT go through ecdh.GenerateKey with an
+// io.Reader adapter: since Go 1.20 the stdlib deliberately consumes a
+// runtime-random number of bytes from non-default readers
+// (randutil.MaybeReadByte), which would advance h.rng by a
+// nondeterministic offset and change every later draw — puzzle seeds,
+// SPIs, nonces — breaking bit-exact simulation replay.
+func detECDHKey(rng *rand.Rand) (*ecdh.PrivateKey, error) {
+	var b [32]byte
+	for {
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		k, err := ecdh.P256().NewPrivateKey(b[:])
+		if err == nil {
+			return k, nil
+		}
+		// Out-of-range scalar (probability ~2^-32): redraw.
 	}
-	return len(p), nil
 }
 
 // HIT returns the host's HIT.

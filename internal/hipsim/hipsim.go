@@ -131,9 +131,19 @@ type Fabric struct {
 
 	ctlQ   []ctlPkt
 	debt   time.Duration
-	wakeQ  *netsim.WaitQueue
 	estabQ map[netip.Addr]*netsim.WaitQueue
 	estabE map[netip.Addr]error
+
+	// Run-to-completion daemon state: the old kernel process is replaced
+	// by a coalesced service pass (kick) plus one re-armable timer that
+	// tracks the host's next deadline, with a 1s housekeeping bound for
+	// rekey checks. charging serializes passes behind in-flight async CPU
+	// charges, as the process did by blocking on CPU().Use.
+	kicked       bool
+	charging     bool
+	serviceFn    func() // bound f.service
+	chargeDoneFn func() // bound f.chargeDone
+	timer        *netsim.Timer
 
 	echoSeq uint64
 	echoes  map[uint64]*echoWait
@@ -173,30 +183,48 @@ func NewWithUnderlay(node *netsim.Node, host *hip.Host, reg *Registry, ul Underl
 		host:       host,
 		reg:        reg,
 		ul:         ul,
-		wakeQ:      netsim.NewWaitQueue(node.Net().Sim()),
 		estabQ:     make(map[netip.Addr]*netsim.WaitQueue),
 		estabE:     make(map[netip.Addr]error),
 		echoes:     make(map[uint64]*echoWait),
 		lsiPeers:   make(map[netip.Addr]bool),
 		BEXTimeout: 10 * time.Second,
 	}
+	f.serviceFn = f.service
+	f.chargeDoneFn = f.chargeDone
+	sim := node.Net().Sim()
+	f.timer = sim.NewTimer(f.service)
 	reg.Register(host.HIT(), ul.LocalAddr())
 	ul.Tap(netsim.ProtoHIP, f.onControl)
 	ul.Tap(netsim.ProtoESP, f.onData)
-	node.Net().Sim().Spawn(node.Name()+"/hipd", f.kernel)
+	// Arm the housekeeping timer so rekey checks happen even when idle.
+	f.timer.Reset(sim.Now() + time.Second)
 	return f
+}
+
+// sim returns the owning simulation.
+func (f *Fabric) simOf() *netsim.Sim { return f.node.Net().Sim() }
+
+// kick schedules a service pass at the current virtual time, coalescing
+// any number of wake requests into one.
+func (f *Fabric) kick() {
+	if f.kicked || f.closed {
+		return
+	}
+	f.kicked = true
+	sim := f.simOf()
+	sim.At(sim.Now(), f.serviceFn)
 }
 
 // Host returns the underlying HIP host.
 func (f *Fabric) Host() *hip.Host { return f.host }
 
-// onControl queues a HIP control packet for the kernel process.
+// onControl queues a HIP control packet for the next service pass.
 func (f *Fabric) onControl(src netip.Addr, payload []byte) {
 	if f.closed {
 		return
 	}
 	f.ctlQ = append(f.ctlQ, ctlPkt{data: payload, src: src})
-	f.wakeQ.WakeOne()
+	f.kick()
 }
 
 // onData decrypts an inbound ESP packet and routes the inner payload
@@ -220,7 +248,7 @@ func (f *Fabric) onData(src netip.Addr, raw []byte) {
 	if err != nil {
 		netsim.PutBuf(buf)
 		f.debt += cost
-		f.wakeQ.WakeOne()
+		f.kick()
 		return
 	}
 	if len(payload) == 0 {
@@ -273,51 +301,65 @@ func (f *Fabric) sendESP(dstLocator netip.Addr, espPkt []byte) {
 	f.ul.Send(netsim.ProtoESP, dstLocator, espPkt)
 }
 
-// kernel is the HIP daemon process: it charges CPU for control-plane
-// work, processes queued control packets, flushes outgoing packets,
-// dispatches events and drives retransmission timers.
-func (f *Fabric) kernel(p *netsim.Proc) {
-	for !f.closed {
-		if f.debt > 0 {
-			d := f.debt
-			f.debt = 0
-			f.node.CPU().Use(p, d)
-		}
-		for len(f.ctlQ) > 0 {
-			item := f.ctlQ[0]
-			f.ctlQ = f.ctlQ[1:]
-			f.host.OnPacket(item.data, item.src, p.Now())
-			if c := f.host.TakeCost(); c > 0 {
-				f.node.CPU().Use(p, c)
-			}
-		}
-		f.host.Maintain(p.Now())
-		f.flush(p)
-		if len(f.ctlQ) > 0 || f.debt > 0 {
-			continue
-		}
-		next := f.host.NextDeadline()
-		if next == 0 {
-			// Idle: wake periodically for housekeeping (rekey checks).
-			f.wakeQ.Wait(p, time.Second)
-			continue
-		}
-		d := next - p.Now()
-		if d > 0 {
-			if !f.wakeQ.Wait(p, d) {
-				continue
-			}
-		}
-		f.host.OnTimer(p.Now())
-		if c := f.host.TakeCost(); c > 0 {
-			f.node.CPU().Use(p, c)
-		}
-		f.flush(p)
+// service is one run-to-completion pass of the HIP daemon: charge CPU for
+// control-plane work, process queued control packets, fire due host
+// timers, flush outgoing packets and dispatch events, then re-arm the
+// deadline timer. Scheduler context; never blocks.
+func (f *Fabric) service() {
+	f.kicked = false
+	if f.closed || f.charging {
+		return
 	}
+	if f.debt > 0 {
+		f.charging = true
+		d := f.debt
+		f.debt = 0
+		f.node.CPU().UseAsync(d, f.chargeDoneFn)
+		return
+	}
+	now := f.simOf().Now()
+	// Indexed loop: processing a packet can emit replies that loop back
+	// to this node and append to ctlQ mid-iteration.
+	for i := 0; i < len(f.ctlQ); i++ {
+		item := f.ctlQ[i]
+		f.host.OnPacket(item.data, item.src, now)
+		f.debt += f.host.TakeCost()
+	}
+	f.ctlQ = f.ctlQ[:0]
+	if next := f.host.NextDeadline(); next != 0 && next <= now {
+		f.host.OnTimer(now)
+		f.debt += f.host.TakeCost()
+	}
+	f.host.Maintain(now)
+	f.flushOut()
+	if f.debt > 0 || len(f.ctlQ) > 0 {
+		f.kick()
+	}
+	f.rearmTimer()
 }
 
-// flush sends outgoing control packets and dispatches host events.
-func (f *Fabric) flush(p *netsim.Proc) {
+// chargeDone runs when an async CPU charge completes.
+func (f *Fabric) chargeDone() {
+	f.charging = false
+	f.kick()
+}
+
+// rearmTimer points the fabric's timer at the host's next deadline,
+// bounded by a 1s housekeeping interval so rekey checks run while idle.
+func (f *Fabric) rearmTimer() {
+	if f.closed {
+		f.timer.Stop()
+		return
+	}
+	next := f.host.NextDeadline()
+	if hk := f.simOf().Now() + time.Second; next == 0 || next > hk {
+		next = hk
+	}
+	f.timer.Reset(next)
+}
+
+// flushOut sends outgoing control packets and dispatches host events.
+func (f *Fabric) flushOut() {
 	for _, op := range f.host.Outgoing() {
 		f.ul.Send(netsim.ProtoHIP, op.Dst, op.Data)
 	}
@@ -366,7 +408,7 @@ func (f *Fabric) Establish(p *netsim.Proc, peer netip.Addr) error {
 	if c := f.host.TakeCost(); c > 0 {
 		f.node.CPU().Use(p, c)
 	}
-	f.flushFromProc(p)
+	f.flushNow()
 	q := f.estabQ[hit]
 	if q == nil {
 		q = netsim.NewWaitQueue(f.node.Net().Sim())
@@ -390,12 +432,12 @@ func (f *Fabric) Establish(p *netsim.Proc, peer netip.Addr) error {
 	}
 }
 
-// flushFromProc flushes pending outgoing control packets from a non-kernel
-// process (e.g. the I1 emitted by Connect); the kernel also wakes to keep
-// timers armed.
-func (f *Fabric) flushFromProc(p *netsim.Proc) {
-	f.flush(p)
-	f.wakeQ.WakeOne()
+// flushNow flushes pending outgoing control packets immediately (e.g. the
+// I1 emitted by Connect from a user process) and kicks a service pass so
+// the daemon's deadline timer is re-armed for retransmissions.
+func (f *Fabric) flushNow() {
+	f.flushOut()
+	f.kick()
 }
 
 // Send seals one stream segment for the peer. Called by the simtcp pump.
@@ -412,7 +454,7 @@ func (f *Fabric) Send(peer netip.Addr, data []byte) (time.Duration, error) {
 	// pool-class capacity, so this append does not allocate.
 	payload := append(data, innerStream)
 	out, dst, err := f.host.SealDataAppend(
-		netsim.GetBuf(len(payload)+esp.MaxOverhead)[:0],
+		netsim.GetBuf(len(payload) + esp.MaxOverhead)[:0],
 		hit, payload, byLSI || f.lsiPeers[hit])
 	cost := f.host.TakeCost()
 	netsim.PutBuf(data)
@@ -487,13 +529,14 @@ func (f *Fabric) DataOverheadBytes(peer netip.Addr) int {
 func (f *Fabric) MoveTo(newLocator netip.Addr) {
 	f.host.MoveTo(newLocator, f.node.Net().Sim().Now())
 	f.reg.Update(f.host.HIT(), newLocator)
-	f.wakeQ.WakeOne()
+	f.flushNow()
 }
 
-// Close stops the fabric's kernel process at the next wake.
+// Close stops the fabric: inbound packets are ignored, no further service
+// passes are scheduled, and the daemon timer is disarmed.
 func (f *Fabric) Close() {
 	f.closed = true
-	f.wakeQ.WakeAll()
+	f.timer.Stop()
 }
 
 func putUint64(b []byte, v uint64) {

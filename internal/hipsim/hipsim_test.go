@@ -597,7 +597,7 @@ func TestCloseThenReconnect(t *testing.T) {
 			// Tear the HIP association down entirely between rounds: the
 			// next Dial must run a fresh base exchange.
 			w.fa.Host().Close(idB.HIT(), p.Now())
-			w.fa.wakeQ.WakeOne()
+			w.fa.flushNow()
 			p.Sleep(100 * time.Millisecond)
 			if _, alive := w.fa.Host().Association(idB.HIT()); alive {
 				t.Error("association survived CLOSE")

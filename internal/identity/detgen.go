@@ -1,0 +1,260 @@
+// Deterministic Host Identity generation for simulations.
+//
+// The experiment harness needs identical HITs on every run: HITs feed the
+// HIP puzzle (I = HMAC(secret, HIT-I | HIT-R)), so identities drawn from
+// crypto/rand change the number of puzzle attempts — and with it the
+// charged CPU cost — from run to run, breaking byte-identical replay and
+// golden-output tests. Since Go 1.20 the stdlib key generators are
+// deliberately nondeterministic even with a fixed io.Reader
+// (randutil.MaybeReadByte), so this file derives keys from an explicit
+// seed with hand-rolled, fully deterministic constructions:
+//
+//   - RSA-2048: primes drawn from an HMAC-SHA256 counter DRBG, key built
+//     directly from (p, q, e); PKCS#1 v1.5 signatures are deterministic
+//     by construction.
+//   - ECDSA P-256: scalar from the DRBG; signing uses a deterministic
+//     per-message nonce (RFC 6979 style: HMAC of key and digest), so
+//     signature bytes — and their variable DER length — replay exactly.
+//   - Ed25519: seed keys (deterministic keygen and signatures by spec).
+//
+// These identities are for simulation only: the seed fully determines the
+// private key, so anyone who knows the seed string owns the identity.
+// Real drivers (cmd/hipd, examples) keep using Generate / crypto/rand.
+package identity
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/ed25519"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/asn1"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+)
+
+// detStream is an HMAC-SHA256 counter DRBG: block i is
+// HMAC(key, uint64(i)), with key = HMAC(domain-sep, seed).
+type detStream struct {
+	key []byte
+	ctr uint64
+	buf []byte
+}
+
+func newDetStream(domain, seed string) *detStream {
+	m := hmac.New(sha256.New, []byte("hipcloud-identity-detgen-v1"))
+	io.WriteString(m, domain)
+	m.Write([]byte{0})
+	io.WriteString(m, seed)
+	return &detStream{key: m.Sum(nil)}
+}
+
+func (d *detStream) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(d.buf) == 0 {
+			var ctr [8]byte
+			binary.BigEndian.PutUint64(ctr[:], d.ctr)
+			d.ctr++
+			m := hmac.New(sha256.New, d.key)
+			m.Write(ctr[:])
+			d.buf = m.Sum(nil)
+		}
+		c := copy(p, d.buf)
+		p = p[c:]
+		d.buf = d.buf[c:]
+	}
+	return n, nil
+}
+
+var bigOne = big.NewInt(1)
+
+// detPrime draws candidates from s until one is prime and coprime in p-1
+// with e. Top two bits are forced so the product of two such primes has
+// exactly 2*len bits; the low bit makes candidates odd.
+func detPrime(s *detStream, bytes int, e *big.Int) *big.Int {
+	buf := make([]byte, bytes)
+	for {
+		if _, err := io.ReadFull(s, buf); err != nil {
+			panic(err) // detStream never fails
+		}
+		buf[0] |= 0xc0
+		buf[bytes-1] |= 1
+		p := new(big.Int).SetBytes(buf)
+		if !p.ProbablyPrime(32) {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, bigOne)
+		if new(big.Int).GCD(nil, nil, pm1, e).Cmp(bigOne) != 0 {
+			continue
+		}
+		return p
+	}
+}
+
+// detRSAKey builds an RSA key of the given size from the stream. Unlike
+// rsa.GenerateKey it is reproducible: same stream, same key.
+func detRSAKey(s *detStream, bits int) (*rsa.PrivateKey, error) {
+	e := big.NewInt(65537)
+	p := detPrime(s, bits/16, e)
+	q := detPrime(s, bits/16, e)
+	for p.Cmp(q) == 0 {
+		q = detPrime(s, bits/16, e)
+	}
+	n := new(big.Int).Mul(p, q)
+	phi := new(big.Int).Mul(new(big.Int).Sub(p, bigOne), new(big.Int).Sub(q, bigOne))
+	d := new(big.Int).ModInverse(e, phi)
+	if d == nil {
+		return nil, fmt.Errorf("identity: no modular inverse (non-coprime primes)")
+	}
+	priv := &rsa.PrivateKey{
+		PublicKey: rsa.PublicKey{N: n, E: 65537},
+		D:         d,
+		Primes:    []*big.Int{p, q},
+	}
+	priv.Precompute()
+	if err := priv.Validate(); err != nil {
+		return nil, fmt.Errorf("identity: deterministic RSA key invalid: %w", err)
+	}
+	return priv, nil
+}
+
+// detECDSAKey derives a P-256 scalar from the stream:
+// d = 1 + (x mod (n-1)) for a 256-bit draw x.
+func detECDSAKey(s *detStream) *ecdsa.PrivateKey {
+	curve := elliptic.P256()
+	nm1 := new(big.Int).Sub(curve.Params().N, bigOne)
+	var b [32]byte
+	if _, err := io.ReadFull(s, b[:]); err != nil {
+		panic(err)
+	}
+	d := new(big.Int).SetBytes(b[:])
+	d.Mod(d, nm1)
+	d.Add(d, bigOne)
+	priv := &ecdsa.PrivateKey{D: d}
+	priv.Curve = curve
+	priv.X, priv.Y = curve.ScalarBaseMult(d.Bytes())
+	return priv
+}
+
+// ecdsaSignature is the standard ASN.1 SEQUENCE { r, s } wire form,
+// compatible with ecdsa.VerifyASN1.
+type ecdsaSignature struct {
+	R, S *big.Int
+}
+
+// detECDSASigner signs with a deterministic per-message nonce instead of
+// the stdlib's randomized (hedged) nonce, so signature bytes — including
+// the 70–72 byte DER length wobble — are a pure function of the message.
+type detECDSASigner struct {
+	priv *ecdsa.PrivateKey
+}
+
+func (ds detECDSASigner) Public() crypto.PublicKey { return &ds.priv.PublicKey }
+
+// detNonce derives k in [1, n-1] from the private scalar and digest
+// (RFC 6979 in spirit: unique and secret per message, not bit-exact 6979).
+func (ds detECDSASigner) detNonce(digest []byte, retry uint32, n *big.Int) *big.Int {
+	var key [32]byte
+	ds.priv.D.FillBytes(key[:])
+	m := hmac.New(sha256.New, key[:])
+	m.Write(digest)
+	var r [4]byte
+	binary.BigEndian.PutUint32(r[:], retry)
+	m.Write(r[:])
+	k := new(big.Int).SetBytes(m.Sum(nil))
+	k.Mod(k, new(big.Int).Sub(n, bigOne))
+	k.Add(k, bigOne)
+	return k
+}
+
+func (ds detECDSASigner) Sign(_ io.Reader, digest []byte, _ crypto.SignerOpts) ([]byte, error) {
+	curve := ds.priv.Curve
+	n := curve.Params().N
+	z := new(big.Int).SetBytes(digest)
+	z.Mod(z, n)
+	for retry := uint32(0); ; retry++ {
+		k := ds.detNonce(digest, retry, n)
+		rx, _ := curve.ScalarBaseMult(k.Bytes())
+		r := new(big.Int).Mod(rx, n)
+		if r.Sign() == 0 {
+			continue
+		}
+		kInv := new(big.Int).ModInverse(k, n)
+		s := new(big.Int).Mul(r, ds.priv.D)
+		s.Add(s, z)
+		s.Mul(s, kInv)
+		s.Mod(s, n)
+		if s.Sign() == 0 {
+			continue
+		}
+		return asn1.Marshal(ecdsaSignature{R: r, S: s})
+	}
+}
+
+// detCache memoizes derived identities: repeated runs (determinism tests,
+// chaos replay) rebuild deployments with identical seeds, and RSA prime
+// derivation costs tens of milliseconds per key. Sharing the *HostIdentity
+// is safe — it is immutable after construction — and cannot perturb
+// determinism, because a cached key is byte-identical to a rederived one.
+var detCache = struct {
+	mu sync.Mutex
+	m  map[string]*HostIdentity
+}{m: make(map[string]*HostIdentity)}
+
+// GenerateDeterministic derives a Host Identity entirely from (alg, seed):
+// the same pair yields the same key, HIT and signature bytes on every run
+// and every platform. Simulation use only — the seed IS the private key.
+func GenerateDeterministic(alg Algorithm, seed string) (*HostIdentity, error) {
+	ck := fmt.Sprintf("%d\x00%s", alg, seed)
+	detCache.mu.Lock()
+	hi, ok := detCache.m[ck]
+	detCache.mu.Unlock()
+	if ok {
+		return hi, nil
+	}
+	hi, err := generateDeterministic(alg, seed)
+	if err != nil {
+		return nil, err
+	}
+	detCache.mu.Lock()
+	detCache.m[ck] = hi
+	detCache.mu.Unlock()
+	return hi, nil
+}
+
+func generateDeterministic(alg Algorithm, seed string) (*HostIdentity, error) {
+	switch alg {
+	case AlgRSA:
+		k, err := detRSAKey(newDetStream("rsa-2048", seed), 2048)
+		if err != nil {
+			return nil, err
+		}
+		return fromSigner(alg, k)
+	case AlgECDSA:
+		k := detECDSAKey(newDetStream("ecdsa-p256", seed))
+		return fromSigner(alg, detECDSASigner{priv: k})
+	case AlgEd25519:
+		var b [ed25519.SeedSize]byte
+		s := newDetStream("ed25519", seed)
+		if _, err := io.ReadFull(s, b[:]); err != nil {
+			return nil, err
+		}
+		return fromSigner(alg, ed25519.NewKeyFromSeed(b[:]))
+	}
+	return nil, ErrBadAlgorithm
+}
+
+// MustGenerateDeterministic is GenerateDeterministic that panics on error.
+func MustGenerateDeterministic(alg Algorithm, seed string) *HostIdentity {
+	hi, err := GenerateDeterministic(alg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return hi
+}

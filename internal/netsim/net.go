@@ -423,15 +423,16 @@ func (nd *Node) transmit(via *Iface, pkt *Packet) {
 	arrival := start + tx + delay
 	peer := via.peer
 	l.carried++
-	deliver := func() { peer.node.receive(peer, pkt) }
-	s.At(arrival, deliver)
+	// Typed delivery event: the per-packet hot path schedules a recycled
+	// event node, never a closure.
+	s.scheduleDeliver(arrival, peer, pkt)
 	if fd.Duplicate || (l.DupProb > 0 && s.rng.Float64() < l.DupProb) {
 		dup := *pkt
 		// The duplicate needs its own payload: receivers may recycle a
 		// packet's body into the buffer pool after consuming it, and two
 		// deliveries of one backing array would double-free it.
 		dup.Payload = append([]byte(nil), pkt.Payload...)
-		s.At(arrival+time.Microsecond, func() { peer.node.receive(peer, &dup) })
+		s.scheduleDeliver(arrival+time.Microsecond, peer, &dup)
 	}
 	nd.net.trace(TraceTx, nd, pkt, via.addr.String())
 }

@@ -26,6 +26,20 @@ func (r *Resource) Acquire(p *Proc) {
 	r.inUse++
 }
 
+// AcquireFn is the scheduler-context counterpart of Acquire: if a unit is
+// free it is claimed and granted runs immediately; otherwise retry is
+// enqueued in the same FIFO as blocking processes and runs when a unit is
+// released. Like a woken process, retry must re-attempt the acquisition
+// (other claimants may get there first) — typically by calling AcquireFn
+// again with itself. Keeping retry pre-bound makes the path allocation-free.
+func (r *Resource) AcquireFn(granted, retry func()) {
+	if r.TryAcquire() {
+		granted()
+		return
+	}
+	r.q.WaitFn(retry)
+}
+
 // TryAcquire claims a unit if one is free without blocking.
 func (r *Resource) TryAcquire() bool {
 	if r.inUse >= r.cap {
@@ -66,6 +80,9 @@ type CPU struct {
 	// busy accumulates core-seconds consumed, for utilization reports.
 	busy time.Duration
 	s    *Sim
+	// tasks recycles cpuTask structs (and their bound callbacks) across
+	// UseAsync charges.
+	tasks []*cpuTask
 }
 
 // NewCPU creates a CPU with the given core count and per-core speed factor.
@@ -111,6 +128,79 @@ func (c *CPU) Stall(p *Proc, d time.Duration) {
 	c.busy += d
 	p.Sleep(d)
 	c.cores.Release()
+}
+
+// cpuTask is one in-flight UseAsync charge. Tasks are pooled per CPU and
+// carry their scheduler callbacks as method values bound once at
+// allocation, so steady-state async charging allocates nothing.
+type cpuTask struct {
+	c         *CPU
+	remaining time.Duration
+	slice     time.Duration
+	done      func()
+	tryFn     func() // bound t.try: (re)attempt core acquisition
+	grantFn   func() // bound t.grant: core claimed, consume one slice
+	sliceFn   func() // bound t.sliceDone: slice elapsed
+}
+
+func (c *CPU) getTask() *cpuTask {
+	if n := len(c.tasks); n > 0 {
+		t := c.tasks[n-1]
+		c.tasks[n-1] = nil
+		c.tasks = c.tasks[:n-1]
+		return t
+	}
+	t := &cpuTask{c: c}
+	t.tryFn = t.try
+	t.grantFn = t.grant
+	t.sliceFn = t.sliceDone
+	return t
+}
+
+func (t *cpuTask) try() { t.c.cores.AcquireFn(t.grantFn, t.tryFn) }
+
+func (t *cpuTask) grant() {
+	slice := t.remaining
+	if slice > SchedQuantum {
+		slice = SchedQuantum
+	}
+	t.slice = slice
+	t.c.busy += slice
+	t.c.s.After(slice, t.sliceFn)
+}
+
+func (t *cpuTask) sliceDone() {
+	c := t.c
+	c.cores.Release()
+	t.remaining -= t.slice
+	if t.remaining > 0 {
+		t.try()
+		return
+	}
+	done := t.done
+	t.done = nil
+	c.tasks = append(c.tasks, t)
+	if done != nil {
+		done()
+	}
+}
+
+// UseAsync charges work to the CPU from scheduler context, with no
+// process: the charge queues for a core through the same FIFO as blocking
+// Use, consumes it in SchedQuantum slices, and calls done (may be nil)
+// once fully charged. It is the run-to-completion counterpart of Use —
+// identical queueing, slicing and busy accounting, minus the goroutine.
+func (c *CPU) UseAsync(work time.Duration, done func()) {
+	if work <= 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	t := c.getTask()
+	t.remaining = time.Duration(float64(work) / c.speed)
+	t.done = done
+	t.try()
 }
 
 // Cores reports the number of cores.

@@ -1,19 +1,28 @@
 // Package netsim is a deterministic discrete-event network simulator.
 //
 // It provides the substrate the paper's testbed (Amazon EC2 / OpenNebula)
-// is substituted with: virtual time, processes (goroutine-per-process,
-// strictly sequential execution), finite CPU resources, links with latency
-// and bandwidth, NAT middleboxes, UDP-style sockets and ICMP echo.
+// is substituted with: virtual time, processes, finite CPU resources,
+// links with latency and bandwidth, NAT middleboxes, UDP-style sockets
+// and ICMP echo.
 //
-// The simulator is simpy-style: each process runs in its own goroutine but
-// exactly one goroutine (the scheduler or a single process) executes at any
-// moment. All inter-process wakeups go through the event queue, with a
-// monotonic sequence number breaking ties, so runs are fully deterministic
-// for a fixed RNG seed.
+// The scheduler is run-to-completion: most simulation activity (packet
+// delivery, transport pumps, timer fires) executes as direct callbacks on
+// the scheduler goroutine, with no context switch. Goroutine-backed
+// processes (Proc) remain for code that genuinely blocks — client
+// workloads, stream reads — and exactly one goroutine (the scheduler or a
+// single process) executes at any moment. All wakeups go through the
+// event queue, with a monotonic sequence number breaking ties, so runs
+// are fully deterministic for a fixed RNG seed.
+//
+// Events live in a hierarchical timer wheel (slot width 2^14 ns ≈ 16.4µs,
+// 4096 slots ≈ 67ms horizon) with a binary-heap overflow tier for
+// far-future timers (RTO, rekey, housekeeping); see DESIGN.md §5.2.
 package netsim
 
 import (
 	"fmt"
+	"io"
+	"math/bits"
 	"math/rand"
 	"time"
 )
@@ -21,18 +30,42 @@ import (
 // VTime is a virtual timestamp: the duration since the simulation epoch.
 type VTime = time.Duration
 
-// event is a scheduled callback. Events with equal time fire in the order
-// they were scheduled (seq).
+// Event kinds. A typed kind plus payload fields replaces the old
+// heap-allocated func() closure on every hot path: Sleep, WaitQueue
+// timeouts, WakeOne, packet delivery and re-armable timers schedule
+// nothing but a recycled event node.
+type evKind uint8
+
+const (
+	evFunc    evKind = iota // call fn
+	evWake                  // resume parked process p
+	evSpawn                 // first resume of process p (body start)
+	evTimeout               // WaitQueue timeout for waiter w (gen-guarded)
+	evTimer                 // Timer fire for tm (gen-guarded)
+	evDeliver               // packet pkt arrives at iface dst
+)
+
+// event is a scheduled occurrence. Events with equal time fire in the
+// order they were scheduled (seq).
 type event struct {
-	at  VTime
-	seq uint64
-	fn  func()
+	at   VTime
+	seq  uint64
+	next *event // slot chain link while parked in the wheel
+	kind evKind
+	gen  uint64 // generation guard for evTimeout / evTimer
+	fn   func()
+	p    *Proc
+	w    *waiter
+	tm   *Timer
+	dst  *Iface
+	pkt  *Packet
 }
 
 // eventHeap is a typed binary min-heap of events ordered by (at, seq).
-// It replaces container/heap to keep *event values out of interface{}
-// boxing — the scheduler's push/pop are the hottest calls in a busy
-// simulation — and to allow the Sim's event freelist to recycle nodes.
+// It serves two roles: the exact-order "due" heap for events at or below
+// the wheel's base tick, and the overflow tier for events beyond the
+// wheel horizon. Typed (no container/heap) to keep *event out of
+// interface{} boxing.
 type eventHeap []*event
 
 func (h eventHeap) less(i, j int) bool {
@@ -84,28 +117,59 @@ func (h *eventHeap) pop() *event {
 	}
 }
 
+// Timer wheel geometry. A slot covers 2^slotShift nanoseconds of virtual
+// time; the wheel spans wheelSlots of them. Packet-scale events (link
+// latencies, serialization, RTTs) land in the wheel in O(1); anything
+// farther out (RTO backoff tails, rekey intervals, housekeeping) goes to
+// the overflow heap and migrates in as the wheel turns.
+const (
+	slotShift  = 14 // 16.384µs per slot
+	wheelBits  = 12
+	wheelSlots = 1 << wheelBits // 4096 slots ≈ 67ms horizon
+	wheelMask  = wheelSlots - 1
+	wheelWords = wheelSlots / 64
+)
+
 // Sim is a discrete-event simulation. The zero value is not usable; create
 // one with New.
 type Sim struct {
-	now    VTime
-	queue  eventHeap
-	free   []*event // recycled event nodes; no caller retains a fired *event
-	seq    uint64
-	rng    *rand.Rand
-	sched  chan struct{} // control returned to scheduler
-	parked map[*Proc]struct{}
-	closed bool
-	nproc  int
-	tracer Tracer
+	now VTime
+	seq uint64
+
+	// Scheduling tiers. Invariants:
+	//   - cur holds every pending event whose tick (at >> slotShift) is
+	//     <= base, in exact (at, seq) heap order;
+	//   - slots hold events with tick in (base, base+wheelSlots), unordered
+	//     within a slot (cur re-sorts a slot when it drains);
+	//   - overflow holds events with tick >= base+wheelSlots.
+	// base only advances, and only to a tick that holds events, so the
+	// pop order is the exact (at, seq) total order of the old global heap.
+	base     int64
+	cur      eventHeap
+	overflow eventHeap
+	slots    [wheelSlots]*event
+	bitmap   [wheelWords]uint64
+	nWheel   int
+
+	free        []*event  // recycled event nodes
+	waiterFree  []*waiter // recycled WaitQueue waiters
+	procFree    []*Proc   // recycled processes (goroutine kept parked)
+	eventsFired uint64
+
+	rng     *rand.Rand
+	sched   chan struct{} // control returned to scheduler
+	current *Proc         // process currently executing, nil in handlers
+	parked  []*Proc       // parked processes (swap-remove by parkedIdx)
+	closed  bool
+	tracer  Tracer
 }
 
 // New creates a simulation whose random choices (loss, jitter) derive from
 // seed. The same seed reproduces the same run exactly.
 func New(seed int64) *Sim {
 	return &Sim{
-		rng:    rand.New(rand.NewSource(seed)),
-		sched:  make(chan struct{}),
-		parked: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		sched: make(chan struct{}),
 	}
 }
 
@@ -116,11 +180,17 @@ func (s *Sim) Now() VTime { return s.now }
 // from within simulation events/processes.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at virtual time t (clamped to now). It may be
-// called from scheduler context (events, process code). The returned
-// event is owned by the scheduler and recycled after it fires; callers
-// must not retain it.
-func (s *Sim) At(t VTime, fn func()) *event {
+// EventsFired reports the total number of events dispatched so far; the
+// scheduler microbenchmarks divide it by wall time for events/sec.
+func (s *Sim) EventsFired() uint64 { return s.eventsFired }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (s *Sim) Pending() int { return len(s.cur) + s.nWheel + len(s.overflow) }
+
+// newEvent takes a node from the freelist (or allocates one), stamps it
+// with the clamped time and the next sequence number, and returns it for
+// the caller to fill in and insert.
+func (s *Sim) newEvent(t VTime) *event {
 	if t < s.now {
 		t = s.now
 	}
@@ -130,107 +200,327 @@ func (s *Sim) At(t VTime, fn func()) *event {
 		ev = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
-		ev.at, ev.seq, ev.fn = t, s.seq, fn
 	} else {
-		ev = &event{at: t, seq: s.seq, fn: fn}
+		ev = &event{}
 	}
-	s.queue.push(ev)
+	ev.at, ev.seq = t, s.seq
 	return ev
 }
 
+// insert places ev into the tier its tick belongs to. Also used to push
+// back an already-stamped event (horizon stop, overflow migration), so it
+// must not touch at/seq.
+func (s *Sim) insert(ev *event) {
+	tick := int64(ev.at >> slotShift)
+	switch {
+	case tick <= s.base:
+		s.cur.push(ev)
+	case tick < s.base+wheelSlots:
+		idx := int(tick) & wheelMask
+		ev.next = s.slots[idx]
+		s.slots[idx] = ev
+		s.bitmap[idx>>6] |= 1 << uint(idx&63)
+		s.nWheel++
+	default:
+		s.overflow.push(ev)
+	}
+}
+
+// recycle clears an event's payload and returns the node to the freelist.
+func (s *Sim) recycle(ev *event) {
+	ev.next = nil
+	ev.fn = nil
+	ev.p = nil
+	ev.w = nil
+	ev.tm = nil
+	ev.dst = nil
+	ev.pkt = nil
+	s.free = append(s.free, ev)
+}
+
+// next pops the globally earliest event, turning the wheel and migrating
+// overflow entries as needed. Returns nil when no events remain.
+func (s *Sim) next() *event {
+	for {
+		if len(s.cur) > 0 {
+			return s.cur.pop()
+		}
+		if s.nWheel > 0 {
+			s.advance()
+			continue
+		}
+		if len(s.overflow) > 0 {
+			// Wheel empty: jump straight to the overflow's earliest tick.
+			s.base = int64(s.overflow[0].at >> slotShift)
+			s.migrate()
+			continue
+		}
+		return nil
+	}
+}
+
+// advance turns the wheel to the next occupied slot, drains it into cur,
+// and pulls overflow events that the new base brings within the horizon.
+func (s *Sim) advance() {
+	baseIdx := int(s.base) & wheelMask
+	idx := s.scanFrom((baseIdx + 1) & wheelMask)
+	dist := int64((idx - baseIdx) & wheelMask)
+	s.base += dist
+	s.bitmap[idx>>6] &^= 1 << uint(idx&63)
+	n := s.slots[idx]
+	s.slots[idx] = nil
+	for n != nil {
+		nx := n.next
+		n.next = nil
+		s.cur.push(n)
+		s.nWheel--
+		n = nx
+	}
+	s.migrate()
+}
+
+// scanFrom returns the index of the first occupied slot at or after start,
+// circularly. The caller guarantees the wheel is nonempty.
+func (s *Sim) scanFrom(start int) int {
+	wi := start >> 6
+	w := s.bitmap[wi] &^ ((1 << uint(start&63)) - 1)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi = (wi + 1) & (wheelWords - 1)
+		w = s.bitmap[wi]
+	}
+}
+
+// migrate moves overflow events that now fall within the wheel horizon
+// into their slots (or cur, for the base tick itself).
+func (s *Sim) migrate() {
+	limit := s.base + wheelSlots
+	for len(s.overflow) > 0 && int64(s.overflow[0].at>>slotShift) < limit {
+		s.insert(s.overflow.pop())
+	}
+}
+
+// At schedules fn to run at virtual time t (clamped to now). It may be
+// called from scheduler context (events, process code) or between runs.
+func (s *Sim) At(t VTime, fn func()) {
+	ev := s.newEvent(t)
+	ev.kind = evFunc
+	ev.fn = fn
+	s.insert(ev)
+}
+
 // After schedules fn to run d from now.
-func (s *Sim) After(d VTime, fn func()) *event { return s.At(s.now+d, fn) }
+func (s *Sim) After(d VTime, fn func()) { s.At(s.now+d, fn) }
+
+// scheduleWake schedules the closure-free resumption of p at t.
+func (s *Sim) scheduleWake(t VTime, p *Proc) {
+	ev := s.newEvent(t)
+	ev.kind = evWake
+	ev.p = p
+	s.insert(ev)
+}
+
+// scheduleDeliver schedules pkt's arrival at iface dst at t — the packet
+// hot path, with no closure allocated per packet.
+func (s *Sim) scheduleDeliver(t VTime, dst *Iface, pkt *Packet) {
+	ev := s.newEvent(t)
+	ev.kind = evDeliver
+	ev.dst = dst
+	ev.pkt = pkt
+	s.insert(ev)
+}
 
 // Run executes events until the queue is empty, the horizon is exceeded, or
 // no runnable process remains. It returns the virtual time reached.
 func (s *Sim) Run(horizon VTime) VTime {
-	for len(s.queue) > 0 {
-		ev := s.queue.pop()
+	for {
+		ev := s.next()
+		if ev == nil {
+			break
+		}
 		if horizon > 0 && ev.at > horizon {
 			s.now = horizon
-			// Push back so a later Run can continue.
-			s.queue.push(ev)
+			// Push back (at/seq intact) so a later Run can continue.
+			s.insert(ev)
 			break
 		}
 		s.now = ev.at
-		fn := ev.fn
-		// Recycle before firing: fn only sees the freelist, never ev, so
-		// a reschedule inside fn may legitimately reuse this node.
-		ev.fn = nil
-		s.free = append(s.free, ev)
-		if fn != nil {
-			fn()
-		}
+		s.fire(ev)
 	}
 	return s.now
 }
 
-// Shutdown aborts every parked process so their goroutines unwind. It must
-// be called from outside scheduler context after Run returns. Processes are
-// resumed one at a time with the aborted flag set; their API calls panic
-// with a sentinel recovered by the process wrapper.
+// fire dispatches one event. The node is recycled before dispatch: the
+// handler only ever sees the freelist, never ev, so a reschedule inside
+// the handler may legitimately reuse the node.
+// DebugLog, when non-nil, receives one line per fired event (time, kind,
+// seq, packet metadata). Diffing the logs of two same-seed runs pinpoints
+// the first divergent event when chasing a determinism bug — far more
+// precise than comparing rounded experiment tables.
+var DebugLog io.Writer
+
+func (s *Sim) fire(ev *event) {
+	kind, gen := ev.kind, ev.gen
+	fn, p, w, tm := ev.fn, ev.p, ev.w, ev.tm
+	dst, pkt := ev.dst, ev.pkt
+	seq := ev.seq
+	s.recycle(ev)
+	s.eventsFired++
+	if DebugLog != nil {
+		if pkt != nil {
+			fmt.Fprintf(DebugLog, "%d k%d s%d %s->%s p%d sz%d pl%d\n", s.now, kind, seq, pkt.Src, pkt.Dst, pkt.Proto, pkt.Size, len(pkt.Payload))
+		} else {
+			fmt.Fprintf(DebugLog, "%d k%d s%d\n", s.now, kind, seq)
+		}
+	}
+	switch kind {
+	case evFunc:
+		fn()
+	case evWake:
+		s.wake(p)
+	case evSpawn:
+		if !p.started {
+			p.started = true
+			go p.loop()
+		}
+		s.transferTo(p)
+	case evTimeout:
+		// Stale if the waiter was recycled (gen moved on) or already woken
+		// (no longer queued).
+		if w.gen == gen && w.idx >= 0 {
+			w.q.remove(w)
+			w.timedOut = true
+			s.wake(w.p)
+		}
+	case evTimer:
+		if tm.gen == gen && tm.armed {
+			tm.armed = false
+			tm.fn()
+		}
+	case evDeliver:
+		dst.node.receive(dst, pkt)
+	}
+}
+
+// Shutdown aborts every parked process and every pooled idle worker so
+// their goroutines unwind. It must be called from outside scheduler
+// context after Run returns. Processes are resumed one at a time (LIFO,
+// deterministically) with the aborted flag set; their API calls panic
+// with a sentinel recovered by the worker loop.
 func (s *Sim) Shutdown() {
 	s.closed = true
-	for p := range s.parked {
-		delete(s.parked, p)
+	for len(s.parked) > 0 {
+		p := s.parked[len(s.parked)-1]
+		s.parked = s.parked[:len(s.parked)-1]
+		p.parkedIdx = -1
 		p.aborted = true
-		// The resume order is map-random, but Shutdown runs after Run has
-		// returned: every process just unwinds via the abort panic, so no
-		// observable event order depends on it.
-		//lint:allow simdet shutdown unwind order cannot affect results; sim is already stopped
 		p.resume <- struct{}{}
 		<-s.sched
 	}
+	for _, p := range s.procFree {
+		p.aborted = true
+		p.resume <- struct{}{}
+		<-s.sched
+	}
+	s.procFree = nil
 }
 
 // simAbort is panicked inside a process when the simulation shuts down.
 type simAbort struct{}
 
-// Proc is a simulated process. All blocking methods must be called from the
-// process's own goroutine.
+// Proc is a simulated process backed by a goroutine. All blocking methods
+// must be called from the process's own goroutine; calling one from a
+// run-to-completion handler (scheduler context) panics. Proc structs,
+// their resume channels and their goroutines are pooled across
+// spawn/exit: an exited process's worker parks on its channel and is
+// reused by a later Spawn.
 type Proc struct {
-	sim     *Sim
-	name    string
-	resume  chan struct{}
-	aborted bool
+	sim       *Sim
+	name      string
+	resume    chan struct{}
+	body      func(p *Proc)
+	parkedIdx int
+	aborted   bool
+	started   bool
 }
 
 // Spawn starts a new process running fn at the current virtual time.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
-	s.nproc++
-	s.After(0, func() {
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(simAbort); !ok {
-						panic(r)
-					}
-				}
-				s.sched <- struct{}{}
-			}()
-			<-p.resume
-			if p.aborted {
-				panic(simAbort{})
+	var p *Proc
+	if n := len(s.procFree); n > 0 {
+		p = s.procFree[n-1]
+		s.procFree[n-1] = nil
+		s.procFree = s.procFree[:n-1]
+	} else {
+		p = &Proc{sim: s, resume: make(chan struct{}), parkedIdx: -1}
+	}
+	p.name, p.body = name, fn
+	ev := s.newEvent(s.now)
+	ev.kind = evSpawn
+	ev.p = p
+	s.insert(ev)
+}
+
+// loop is the pooled worker: each iteration runs one spawned body, then
+// returns the Proc to the freelist and hands control back. The goroutine
+// exits only on shutdown abort.
+func (p *Proc) loop() {
+	s := p.sim
+	for {
+		<-p.resume
+		if p.aborted {
+			s.sched <- struct{}{}
+			return
+		}
+		p.runBody()
+		if p.aborted {
+			// Unwound by Shutdown mid-body: do not rejoin the pool.
+			s.sched <- struct{}{}
+			return
+		}
+		p.name, p.body = "", nil
+		// Safe to touch scheduler state: the scheduler is blocked in
+		// transferTo until we signal sched below.
+		s.procFree = append(s.procFree, p)
+		s.sched <- struct{}{}
+	}
+}
+
+// runBody runs the spawned function, recovering the shutdown-abort panic.
+func (p *Proc) runBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(simAbort); !ok {
+				panic(r)
 			}
-			fn(p)
-		}()
-		s.transferTo(p)
-	})
+		}
+	}()
+	p.body(p)
 }
 
 // transferTo hands control to p's goroutine and blocks until it parks or
 // exits. Must run in scheduler context.
 func (s *Sim) transferTo(p *Proc) {
+	s.current = p
 	p.resume <- struct{}{}
 	<-s.sched
+	s.current = nil
 }
 
 // park blocks the calling process until it is woken via an event. The
-// caller must have arranged for a wake before parking.
+// caller must have arranged for a wake before parking. Calling it from a
+// run-to-completion handler is a contract violation and panics: handlers
+// run on the scheduler goroutine and must never block (DESIGN.md §5.2).
 func (p *Proc) park() {
-	p.sim.parked[p] = struct{}{}
-	p.sim.sched <- struct{}{}
+	s := p.sim
+	if s.current != p {
+		panic("netsim: blocking Proc API called from scheduler context (proc " + p.name + ")")
+	}
+	p.parkedIdx = len(s.parked)
+	s.parked = append(s.parked, p)
+	s.sched <- struct{}{}
 	<-p.resume
 	if p.aborted {
 		panic(simAbort{})
@@ -240,10 +530,16 @@ func (p *Proc) park() {
 // wake resumes a parked process. Must run in scheduler context (inside an
 // event callback).
 func (s *Sim) wake(p *Proc) {
-	if _, ok := s.parked[p]; !ok {
-		panic(fmt.Sprintf("netsim: waking non-parked process %s", p.name))
+	i := p.parkedIdx
+	if i < 0 {
+		panic("netsim: waking non-parked process " + p.name)
 	}
-	delete(s.parked, p)
+	last := len(s.parked) - 1
+	s.parked[i] = s.parked[last]
+	s.parked[i].parkedIdx = i
+	s.parked[last] = nil
+	s.parked = s.parked[:last]
+	p.parkedIdx = -1
 	s.transferTo(p)
 }
 
@@ -256,84 +552,241 @@ func (p *Proc) Sim() *Sim { return p.sim }
 // Now returns the current virtual time.
 func (p *Proc) Now() VTime { return p.sim.now }
 
-// Sleep suspends the process for d of virtual time.
+// Sleep suspends the process for d of virtual time. Allocation-free: the
+// wake rides a recycled typed event, not a closure.
 func (p *Proc) Sleep(d VTime) {
-	if d <= 0 {
+	if d < 0 {
 		d = 0
 	}
-	p.sim.After(d, func() { p.sim.wake(p) })
+	p.sim.scheduleWake(p.sim.now+d, p)
 	p.park()
 }
 
 // Spawn starts a sibling process (convenience for fan-out inside a process).
 func (p *Proc) Spawn(name string, fn func(p *Proc)) { p.sim.Spawn(name, fn) }
 
-// waiter represents one process blocked on a condition, possibly with a
-// timeout racing the wake.
+// waiter represents one entry blocked on a WaitQueue: either a process
+// (p set), possibly racing a timeout, or a scheduler-context callback
+// (fn set) used by async resource acquisition. Waiters are pooled; gen
+// guards pooled reuse against stale timeout events still in the wheel.
 type waiter struct {
-	p     *Proc
-	fired bool
-	// timedOut reports which of the racing events won.
+	p        *Proc
+	fn       func()
+	q        *WaitQueue
+	seq      uint64 // FIFO order within the queue
+	idx      int    // heap index in q.ws; -1 when not queued
+	gen      uint64
 	timedOut bool
 }
 
-// WaitQueue is a FIFO queue of processes blocked on a condition.
+// getWaiter takes a waiter from the freelist or allocates one.
+func (s *Sim) getWaiter() *waiter {
+	if n := len(s.waiterFree); n > 0 {
+		w := s.waiterFree[n-1]
+		s.waiterFree[n-1] = nil
+		s.waiterFree = s.waiterFree[:n-1]
+		return w
+	}
+	return &waiter{idx: -1}
+}
+
+// putWaiter recycles w, bumping gen so any stale timeout event for it
+// becomes a no-op when its slot drains.
+func (s *Sim) putWaiter(w *waiter) {
+	w.gen++
+	w.p, w.fn, w.q = nil, nil, nil
+	w.timedOut = false
+	s.waiterFree = append(s.waiterFree, w)
+}
+
+// WaitQueue is a FIFO queue of waiters blocked on a condition. It is a
+// min-heap on a per-queue sequence number with stored indices, so a
+// timeout cancels its entry in O(log n) (the old linear scan + slide-down
+// was O(n) per timeout under load) while WakeOne still pops strict FIFO.
 type WaitQueue struct {
-	s  *Sim
-	ws []*waiter
+	s   *Sim
+	ws  []*waiter
+	seq uint64
 }
 
 // NewWaitQueue creates a wait queue bound to s.
 func NewWaitQueue(s *Sim) *WaitQueue { return &WaitQueue{s: s} }
 
-// Len reports the number of blocked processes.
+// Len reports the number of queued waiters.
 func (q *WaitQueue) Len() int { return len(q.ws) }
+
+func (q *WaitQueue) less(i, j int) bool { return q.ws[i].seq < q.ws[j].seq }
+
+func (q *WaitQueue) swap(i, j int) {
+	q.ws[i], q.ws[j] = q.ws[j], q.ws[i]
+	q.ws[i].idx, q.ws[j].idx = i, j
+}
+
+func (q *WaitQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *WaitQueue) down(i int) {
+	n := len(q.ws)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (q *WaitQueue) push(w *waiter) {
+	q.seq++
+	w.seq = q.seq
+	w.q = q
+	w.idx = len(q.ws)
+	q.ws = append(q.ws, w)
+	q.up(w.idx)
+}
+
+// remove unlinks w from the heap by its stored index (swap-remove + fix).
+func (q *WaitQueue) remove(w *waiter) {
+	i := w.idx
+	last := len(q.ws) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.ws[last] = nil
+	q.ws = q.ws[:last]
+	if i != last {
+		q.down(i)
+		q.up(i)
+	}
+	w.idx = -1
+}
+
+// popMin removes and returns the longest-waiting entry.
+func (q *WaitQueue) popMin() *waiter {
+	w := q.ws[0]
+	q.remove(w)
+	return w
+}
 
 // Wait blocks p until WakeOne/WakeAll reaches it or the timeout elapses.
 // timeout <= 0 means no timeout. It reports whether the wait timed out.
+// Allocation-free in steady state: the waiter and the timeout event are
+// both pooled.
 func (q *WaitQueue) Wait(p *Proc, timeout VTime) (timedOut bool) {
-	w := &waiter{p: p}
-	q.ws = append(q.ws, w)
+	w := q.s.getWaiter()
+	w.p = p
+	q.push(w)
 	if timeout > 0 {
-		q.s.After(timeout, func() {
-			if w.fired {
-				return
-			}
-			w.fired = true
-			w.timedOut = true
-			// Remove from queue.
-			for i, x := range q.ws {
-				if x == w {
-					q.ws = append(q.ws[:i], q.ws[i+1:]...)
-					break
-				}
-			}
-			q.s.wake(p)
-		})
+		ev := q.s.newEvent(q.s.now + timeout)
+		ev.kind = evTimeout
+		ev.w = w
+		ev.gen = w.gen
+		q.s.insert(ev)
 	}
 	p.park()
-	return w.timedOut
+	timedOut = w.timedOut
+	q.s.putWaiter(w)
+	return timedOut
 }
 
-// WakeOne schedules the wakeup of the longest-waiting process, if any.
-// The wake happens via the event queue (at the current time) so the caller
-// keeps running first; it reports whether a process was woken.
+// WaitFn enqueues fn as a waiter with no timeout; when its turn comes
+// (WakeOne/WakeAll), fn runs in scheduler context at the current time.
+// A woken fn must re-check its condition — like a woken process, it raced
+// other claimants and may need to re-enqueue. Callers keep fn pre-bound
+// (e.g. a pooled task's method value) so steady state allocates nothing.
+func (q *WaitQueue) WaitFn(fn func()) {
+	w := q.s.getWaiter()
+	w.fn = fn
+	q.push(w)
+}
+
+// WakeOne schedules the wakeup of the longest-waiting entry, if any.
+// The wake happens via the event queue (at the current time) so the
+// caller keeps running first; it reports whether an entry was woken.
 func (q *WaitQueue) WakeOne() bool {
-	for len(q.ws) > 0 {
-		w := q.ws[0]
-		q.ws = q.ws[1:]
-		if w.fired {
-			continue
-		}
-		w.fired = true
-		q.s.After(0, func() { q.s.wake(w.p) })
+	if len(q.ws) == 0 {
+		return false
+	}
+	w := q.popMin()
+	if w.fn != nil {
+		fn := w.fn
+		q.s.putWaiter(w)
+		q.s.At(q.s.now, fn)
 		return true
 	}
-	return false
+	q.s.scheduleWake(q.s.now, w.p)
+	return true
 }
 
-// WakeAll wakes every waiting process.
+// WakeAll wakes every waiting entry.
 func (q *WaitQueue) WakeAll() {
 	for q.WakeOne() {
 	}
 }
+
+// Timer is a re-armable virtual-time timer firing a pre-bound callback in
+// scheduler context — the run-to-completion replacement for a process
+// sleeping until its next deadline. Stop/Reset are O(1): the wheel entry
+// is cancelled lazily via a generation check when its slot drains, so no
+// wheel surgery is ever needed.
+type Timer struct {
+	s     *Sim
+	fn    func()
+	gen   uint64
+	at    VTime
+	armed bool
+}
+
+// NewTimer creates a timer that calls fn when it fires. fn runs in
+// scheduler context and must not block.
+func (s *Sim) NewTimer(fn func()) *Timer { return &Timer{s: s, fn: fn} }
+
+// Reset (re)arms the timer to fire at absolute virtual time t, replacing
+// any earlier deadline. Re-arming to the already-armed deadline is a
+// no-op, so callers may re-assert their deadline every pass for free.
+func (t *Timer) Reset(at VTime) {
+	if at < t.s.now {
+		at = t.s.now
+	}
+	if t.armed && t.at == at {
+		return
+	}
+	t.gen++
+	t.armed = true
+	t.at = at
+	ev := t.s.newEvent(at)
+	ev.kind = evTimer
+	ev.tm = t
+	ev.gen = t.gen
+	t.s.insert(ev)
+}
+
+// Stop disarms the timer; a pending fire becomes a no-op.
+func (t *Timer) Stop() {
+	if t.armed {
+		t.gen++
+		t.armed = false
+	}
+}
+
+// Armed reports whether the timer has a pending deadline.
+func (t *Timer) Armed() bool { return t.armed }
+
+// When returns the armed deadline (meaningless when !Armed).
+func (t *Timer) When() VTime { return t.at }

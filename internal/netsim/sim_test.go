@@ -236,24 +236,61 @@ func BenchmarkEventThroughput(b *testing.B) {
 }
 
 func BenchmarkProcContextSwitch(b *testing.B) {
-	// Two processes ping-ponging through wait queues.
+	// Two processes ping-ponging through wait queues: each op is one
+	// round trip (two park/wake pairs through goroutine handoff). "a"
+	// parks first so no wakeup is ever lost.
 	s := New(1)
 	q1, q2 := NewWaitQueue(s), NewWaitQueue(s)
 	rounds := b.N
 	s.Spawn("a", func(p *Proc) {
 		for i := 0; i < rounds; i++ {
-			q2.WakeOne()
 			q1.Wait(p, 0)
+			q2.WakeOne()
 		}
-		q2.WakeOne()
 	})
 	s.Spawn("b", func(p *Proc) {
 		for i := 0; i < rounds; i++ {
-			q2.Wait(p, 0)
 			q1.WakeOne()
+			q2.Wait(p, 0)
 		}
 	})
 	b.ResetTimer()
 	s.Run(0)
 	s.Shutdown()
+}
+
+func BenchmarkProcSleepWake(b *testing.B) {
+	// The closure-free sleeper path: park, evWake through the wheel,
+	// resume — the cost a parked-goroutine protocol pays per timer tick.
+	s := New(1)
+	rounds := b.N
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Sleep(10 * time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	s.Run(0)
+	s.Shutdown()
+}
+
+func BenchmarkTimerResetFire(b *testing.B) {
+	// Run-to-completion deadline churn: a timer re-arming itself from its
+	// own callback. Measures wheel insert + lazy-cancel + fire with no
+	// goroutine involved — the path the simtcp/hipsim service loops ride.
+	s := New(1)
+	n := 0
+	var tm *Timer
+	tm = s.NewTimer(func() {
+		n++
+		if n < b.N {
+			// Re-arm twice: the superseded deadline exercises the stale
+			// generation check when its wheel slot drains.
+			tm.Reset(s.Now() + 20*time.Microsecond)
+			tm.Reset(s.Now() + 10*time.Microsecond)
+		}
+	})
+	tm.Reset(10 * time.Microsecond)
+	b.ResetTimer()
+	s.Run(0)
 }

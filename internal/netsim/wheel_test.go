@@ -1,0 +1,276 @@
+package netsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// refSched is an independent reference scheduler: a flat slice popped by
+// linear min-scan on (at, seq). Deliberately naive — it shares no code
+// with the timer wheel, so agreement between the two is evidence the
+// wheel's three tiers (cur heap / slots / overflow heap) preserve the
+// exact (at, seq) total order across slot boundaries, horizon jumps and
+// re-entrant scheduling.
+type refSched struct {
+	now VTime
+	seq uint64
+	evs []refEv
+}
+
+type refEv struct {
+	at  VTime
+	seq uint64
+	fn  func()
+}
+
+func (r *refSched) Now() VTime { return r.now }
+
+func (r *refSched) At(t VTime, fn func()) {
+	if t < r.now {
+		t = r.now
+	}
+	r.seq++
+	r.evs = append(r.evs, refEv{at: t, seq: r.seq, fn: fn})
+}
+
+func (r *refSched) Run() {
+	for len(r.evs) > 0 {
+		best := 0
+		for i := 1; i < len(r.evs); i++ {
+			e, b := r.evs[i], r.evs[best]
+			if e.at < b.at || (e.at == b.at && e.seq < b.seq) {
+				best = i
+			}
+		}
+		ev := r.evs[best]
+		r.evs[best] = r.evs[len(r.evs)-1]
+		r.evs = r.evs[:len(r.evs)-1]
+		r.now = ev.at
+		ev.fn()
+	}
+}
+
+// clock abstracts Sim and refSched for the shared workload generator.
+type clock interface {
+	Now() VTime
+	At(t VTime, fn func())
+}
+
+// wheelWorkload drives a randomized schedule against c and returns the
+// (id, fire-time) trace. Offsets are drawn across the wheel's regimes:
+// zero (same-timestamp ties), sub-slot, in-wheel, exact slot multiples
+// (boundary ticks) and beyond-horizon (overflow tier, including jumps
+// that advance base past the whole wheel). A fraction of handlers
+// re-entrantly schedule children, which exercises insertion below and
+// around a moving base.
+func wheelWorkload(c clock, seed int64) []VTime {
+	rng := rand.New(rand.NewSource(seed))
+	var trace []VTime
+	var id int
+	offset := func() VTime {
+		switch rng.Intn(5) {
+		case 0:
+			return 0
+		case 1:
+			return VTime(rng.Int63n(int64(20 * time.Microsecond)))
+		case 2:
+			return VTime(rng.Int63n(int64(50 * time.Millisecond)))
+		case 3:
+			// Exact slot-width multiples land on tick boundaries.
+			return VTime(rng.Int63n(64)) << slotShift
+		default:
+			// Beyond the ~67ms horizon: overflow tier.
+			return VTime(int64(70*time.Millisecond) + rng.Int63n(int64(2*time.Second)))
+		}
+	}
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		at := c.Now() + offset()
+		myID := VTime(id)
+		id++
+		c.At(at, func() {
+			trace = append(trace, myID, c.Now())
+			if depth > 0 && rng.Intn(3) == 0 {
+				for n := rng.Intn(3); n >= 0; n-- {
+					schedule(depth - 1)
+				}
+			}
+		})
+	}
+	for i := 0; i < 2000; i++ {
+		schedule(3)
+	}
+	return trace
+}
+
+// TestWheelDifferential checks the wheel against the reference scheduler
+// on randomized workloads: identical (id, time) fire traces, event for
+// event, across several seeds.
+func TestWheelDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		s := New(1)
+		wheelTrace := wheelWorkload(s, seed)
+		s.Run(0)
+		ref := &refSched{}
+		refTrace := wheelWorkload(ref, seed)
+		ref.Run()
+		if len(wheelTrace) != len(refTrace) {
+			t.Fatalf("seed %d: wheel fired %d entries, reference %d", seed, len(wheelTrace), len(refTrace))
+		}
+		for i := range wheelTrace {
+			if wheelTrace[i] != refTrace[i] {
+				t.Fatalf("seed %d: trace diverges at %d: wheel %v, reference %v", seed, i, wheelTrace[i], refTrace[i])
+			}
+		}
+	}
+}
+
+// TestWheelHorizonStopResume checks that stopping Run at a horizon and
+// resuming preserves order for events at, before and after the stop time,
+// including overflow events migrated across the pause.
+func TestWheelHorizonStopResume(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i, d := range []VTime{
+		90 * time.Millisecond, // overflow at schedule time
+		10 * time.Millisecond,
+		50 * time.Millisecond,
+		50 * time.Millisecond, // same-timestamp tie
+		200 * time.Millisecond,
+	} {
+		i := i
+		s.At(d, func() { got = append(got, i) })
+	}
+	s.Run(50 * time.Millisecond) // stops with the 50ms events pending or fired
+	s.At(60*time.Millisecond, func() { got = append(got, 5) })
+	s.Run(0)
+	want := []int{1, 2, 3, 5, 0, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTimerResetStop checks the generation-guarded Timer: reschedules
+// supersede earlier deadlines, Stop cancels, and a Reset to the same
+// deadline neither duplicates nor drops the fire.
+func TestTimerResetStop(t *testing.T) {
+	s := New(1)
+	var fires []VTime
+	tm := s.NewTimer(func() { fires = append(fires, s.Now()) })
+	tm.Reset(10 * time.Millisecond)
+	tm.Reset(10 * time.Millisecond) // same deadline: no-op, still one fire
+	tm.Reset(5 * time.Millisecond)  // earlier: supersedes
+	s.Run(0)
+	if len(fires) != 1 || fires[0] != 5*time.Millisecond {
+		t.Fatalf("fires = %v, want [5ms]", fires)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after fire")
+	}
+
+	tm.Reset(20 * time.Millisecond)
+	tm.Stop()
+	s.Run(0)
+	if len(fires) != 1 {
+		t.Fatalf("stopped timer fired: %v", fires)
+	}
+
+	// Stop then re-arm: only the new deadline fires, even though the
+	// stale event node for 30ms is still in the queue when 25ms is set.
+	tm.Reset(30 * time.Millisecond)
+	tm.Stop()
+	tm.Reset(25 * time.Millisecond)
+	s.Run(0)
+	if len(fires) != 2 || fires[1] != 25*time.Millisecond {
+		t.Fatalf("fires = %v, want second at 25ms", fires)
+	}
+}
+
+// TestParkFromSchedulerContextPanics checks the runtime backstop behind
+// the hiplint schedblock rule: a blocking Proc API reached from a
+// run-to-completion handler must panic loudly instead of deadlocking the
+// scheduler goroutine.
+func TestParkFromSchedulerContextPanics(t *testing.T) {
+	s := New(1)
+	q := NewWaitQueue(s)
+	var leaked *Proc
+	s.Spawn("victim", func(p *Proc) {
+		leaked = p
+		q.Wait(p, 0) // parks forever; woken only during Shutdown
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("blocking Proc API from scheduler context did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "scheduler context") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	s.At(time.Millisecond, func() {
+		leaked.Sleep(time.Millisecond) // contract violation: handler blocks
+	})
+	s.Run(0)
+}
+
+// TestWaitTimeoutFIFOAndCancel checks WaitQueue semantics under the
+// indexed-heap waiter set: FIFO wake order, O(log n) mid-queue timeout
+// removal, and no spurious wake from a stale timeout event after the
+// waiter was already woken and recycled.
+func TestWaitTimeoutFIFOAndCancel(t *testing.T) {
+	s := New(1)
+	q := NewWaitQueue(s)
+	var woke []string
+	wait := func(name string, timeout time.Duration) {
+		s.Spawn(name, func(p *Proc) {
+			if q.Wait(p, timeout) {
+				woke = append(woke, name+"-timeout")
+			} else {
+				woke = append(woke, name)
+			}
+		})
+	}
+	wait("a", 0)
+	wait("b", 10*time.Millisecond) // times out mid-queue
+	wait("c", 0)
+	s.At(20*time.Millisecond, func() { q.WakeOne() }) // wakes a
+	s.At(30*time.Millisecond, func() { q.WakeOne() }) // wakes c (b gone)
+	s.Run(0)
+	want := []string{"b-timeout", "a", "c"}
+	if len(woke) != len(want) {
+		t.Fatalf("woke = %v, want %v", woke, want)
+	}
+	for i := range want {
+		if woke[i] != want[i] {
+			t.Fatalf("woke = %v, want %v", woke, want)
+		}
+	}
+
+	// Wake before the timeout expires: the pending timeout event must not
+	// re-wake or corrupt the recycled waiter.
+	woke = woke[:0]
+	now := s.Now()
+	wait("d", 50*time.Millisecond)
+	s.At(now+time.Millisecond, func() { q.WakeOne() })
+	// Another waiter reuses the slot while d's timeout event is in flight.
+	s.At(now+2*time.Millisecond, func() { wait("e", 0) })
+	s.At(now+60*time.Millisecond, func() { q.WakeOne() })
+	s.Run(0)
+	want = []string{"d", "e"}
+	if len(woke) != len(want) {
+		t.Fatalf("woke = %v, want %v", woke, want)
+	}
+	for i := range want {
+		if woke[i] != want[i] {
+			t.Fatalf("woke = %v, want %v", woke, want)
+		}
+	}
+}

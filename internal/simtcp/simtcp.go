@@ -11,8 +11,14 @@
 //     exchange on first contact and seals every segment in ESP.
 //
 // All crypto/packet CPU costs reported by the fabric are charged to the
-// node's simulated CPU by the stack's pump process, so security protocols
+// node's simulated CPU by the stack's service loop, so security protocols
 // consume VM compute exactly where the paper says they do.
+//
+// The stack is run-to-completion: inbound segments, outbound flushes and
+// retransmission timers are handled by scheduler-context callbacks (a
+// coalesced "kick" event plus one re-armable netsim.Timer), not by a
+// parked pump goroutine. Only the user-facing Conn API (Read, Write,
+// Dial, Accept) blocks a process.
 package simtcp
 
 import (
@@ -91,16 +97,26 @@ type Stack struct {
 	listeners map[uint16]*Listener
 	nextPort  uint16
 
-	pending []inSeg // delivered, not yet pumped
+	pending []inSeg // delivered, not yet serviced
 	// dirty conns are flushed in marking order: the map is the membership
 	// test, the queue the iteration order. Ranging over the map alone
 	// would emit packets in Go's randomized map order and break the
 	// simulator's run-to-run determinism (caught by hiplint's simdet).
 	dirty  map[*Conn]bool
 	dirtyQ []*Conn
-	debt   time.Duration // CPU cost accumulated in scheduler context
-	wakeQ  *netsim.WaitQueue
-	armed  map[*Conn]netsim.VTime // armed timer deadlines
+	debt   time.Duration          // CPU cost not yet charged
+	armed  map[*Conn]netsim.VTime // armed conn timer deadlines
+
+	// Run-to-completion service state. kicked coalesces wake requests
+	// into one scheduled service pass; charging serializes passes behind
+	// an in-flight async CPU charge, so modeled compute still delays
+	// segment processing exactly as the old pump process did.
+	kicked       bool
+	charging     bool
+	serviceFn    func() // bound s.service, scheduled by kick
+	chargeDoneFn func() // bound s.chargeDone, runs when a CPU charge ends
+	timer        *netsim.Timer
+	due          []*Conn // scratch for timerFire, reused across fires
 
 	closed bool
 }
@@ -114,8 +130,8 @@ type inSeg struct {
 	data []byte
 }
 
-// NewStack creates a stream stack on node over the given fabric and starts
-// its pump process.
+// NewStack creates a stream stack on node over the given fabric. All
+// stack-side work runs as scheduler callbacks; no process is spawned.
 func NewStack(node *netsim.Node, fabric Fabric) *Stack {
 	s := &Stack{
 		sim:       node.Net().Sim(),
@@ -127,9 +143,10 @@ func NewStack(node *netsim.Node, fabric Fabric) *Stack {
 		dirty:     make(map[*Conn]bool),
 		armed:     make(map[*Conn]netsim.VTime),
 	}
-	s.wakeQ = netsim.NewWaitQueue(s.sim)
+	s.serviceFn = s.service
+	s.chargeDoneFn = s.chargeDone
+	s.timer = s.sim.NewTimer(s.timerFire)
 	fabric.Attach(s.deliver)
-	s.sim.Spawn(node.Name()+"/tcp-pump", s.pump)
 	return s
 }
 
@@ -147,11 +164,18 @@ func (s *Stack) deliver(peer netip.Addr, data []byte, cost time.Duration) {
 	key := connKey{peer: peer, localPort: localPort, remotePort: remotePort}
 	s.debt += cost + s.node.PerPacketCPU()
 	s.pending = append(s.pending, inSeg{key: key, data: data})
-	s.wakeQ.WakeOne()
+	s.kick()
 }
 
-// wakePump nudges the pump process (proc or scheduler context).
-func (s *Stack) wakePump() { s.wakeQ.WakeOne() }
+// kick schedules a service pass at the current virtual time, coalescing
+// any number of wake requests into one. Runs in any context.
+func (s *Stack) kick() {
+	if s.kicked || s.closed {
+		return
+	}
+	s.kicked = true
+	s.sim.At(s.sim.Now(), s.serviceFn)
+}
 
 // markDirty queues c for flushing exactly once, preserving marking order.
 func (s *Stack) markDirty(c *Conn) {
@@ -161,78 +185,104 @@ func (s *Stack) markDirty(c *Conn) {
 	}
 }
 
-// pump is the stack's kernel process: it charges CPU debt, feeds inbound
-// segments to connections, packetizes outbound data, and manages timers.
-func (s *Stack) pump(p *netsim.Proc) {
-	for !s.closed {
-		// Charge any CPU cost accumulated in scheduler context.
-		if s.debt > 0 {
-			d := s.debt
-			s.debt = 0
-			s.node.CPU().Use(p, d)
-		}
-		// Inbound segments.
-		for len(s.pending) > 0 {
-			in := s.pending[0]
-			s.pending = s.pending[1:]
-			s.handleSegment(p, in)
-			// The stream core copies everything it keeps out of the
-			// segment, so the wire buffer can be recycled now.
-			netsim.PutBuf(in.data)
-		}
-		// Outbound for dirty conns, in marking order (determinism: a map
-		// range here would emit packets in randomized order).
-		for len(s.dirtyQ) > 0 {
-			c := s.dirtyQ[0]
-			s.dirtyQ = s.dirtyQ[1:]
-			delete(s.dirty, c)
-			s.flush(p, c)
-		}
-		if len(s.pending) > 0 || len(s.dirty) > 0 {
-			continue
-		}
-		// Sleep until woken or the earliest timer.
-		var next netsim.VTime
-		for c, at := range s.armed {
-			if c.closedByUser && c.inner.State() == stream.StateClosed {
-				delete(s.armed, c)
-				continue
-			}
-			if next == 0 || at < next {
-				next = at
-			}
-		}
-		if next == 0 {
-			s.wakeQ.Wait(p, 0)
-			continue
-		}
-		d := next - p.Now()
-		if d > 0 {
-			if !s.wakeQ.Wait(p, d) {
-				continue // woken by work
-			}
-		}
-		// A deadline passed: fire timers. Due conns are collected and
-		// sorted by connection key before firing, so the retransmissions
-		// they queue flush in a stable order regardless of map iteration.
-		now := p.Now()
-		var due []*Conn
-		for c, at := range s.armed {
-			if at <= now {
-				due = append(due, c)
-			}
-		}
-		sort.Slice(due, func(i, j int) bool { return due[i].key.less(due[j].key) })
-		for _, c := range due {
+// service is one run-to-completion pass of the stack's kernel work: charge
+// accumulated CPU debt, feed inbound segments to connections, packetize
+// outbound data, and re-arm the deadline timer. It runs in scheduler
+// context and never blocks; modeled CPU time is charged asynchronously,
+// and processing resumes when the charge completes — the same ordering
+// the old pump process enforced by blocking on CPU().Use.
+func (s *Stack) service() {
+	s.kicked = false
+	if s.closed || s.charging {
+		return
+	}
+	if s.debt > 0 {
+		s.charging = true
+		d := s.debt
+		s.debt = 0
+		s.node.CPU().UseAsync(d, s.chargeDoneFn)
+		return
+	}
+	// Inbound segments. Indexed loop: a loopback flush below (or a
+	// self-addressed send) may append while we iterate.
+	for i := 0; i < len(s.pending); i++ {
+		in := s.pending[i]
+		s.handleSegment(in)
+		// The stream core copies everything it keeps out of the
+		// segment, so the wire buffer can be recycled now.
+		netsim.PutBuf(in.data)
+	}
+	s.pending = s.pending[:0]
+	// Outbound for dirty conns, in marking order (determinism: a map
+	// range here would emit packets in randomized order).
+	for len(s.dirtyQ) > 0 {
+		c := s.dirtyQ[0]
+		s.dirtyQ = s.dirtyQ[1:]
+		delete(s.dirty, c)
+		s.flush(c)
+	}
+	// Flushing charges send costs to debt; new inbound may have arrived
+	// via loopback. Either way, run another pass.
+	if s.debt > 0 || len(s.pending) > 0 || len(s.dirtyQ) > 0 {
+		s.kick()
+	}
+	s.rearmTimer()
+}
+
+// chargeDone runs when an async CPU charge completes.
+func (s *Stack) chargeDone() {
+	s.charging = false
+	s.kick()
+}
+
+// rearmTimer points the stack's timer at the earliest armed conn deadline
+// (or disarms it), dropping entries for conns that finished closing.
+func (s *Stack) rearmTimer() {
+	var next netsim.VTime
+	for c, at := range s.armed {
+		if c.closedByUser && c.inner.State() == stream.StateClosed {
 			delete(s.armed, c)
-			c.inner.OnTimer(now)
-			s.markDirty(c)
+			continue
+		}
+		if next == 0 || at < next {
+			next = at
 		}
 	}
+	if next == 0 {
+		s.timer.Stop()
+		return
+	}
+	s.timer.Reset(next)
+}
+
+// timerFire runs when the earliest conn deadline passes. Due conns are
+// collected and sorted by connection key before firing, so the
+// retransmissions they queue flush in a stable order regardless of map
+// iteration.
+func (s *Stack) timerFire() {
+	if s.closed {
+		return
+	}
+	now := s.sim.Now()
+	due := s.due[:0]
+	for c, at := range s.armed {
+		if at <= now {
+			due = append(due, c)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].key.less(due[j].key) })
+	for _, c := range due {
+		delete(s.armed, c)
+		c.inner.OnTimer(now)
+		s.markDirty(c)
+	}
+	s.due = due[:0]
+	s.kick()
+	s.rearmTimer()
 }
 
 // handleSegment routes an inbound segment to a conn or listener.
-func (s *Stack) handleSegment(p *netsim.Proc, in inSeg) {
+func (s *Stack) handleSegment(in inSeg) {
 	seg, err := stream.ParseSegment(in.data[muxHeader:])
 	if err != nil {
 		return
@@ -251,14 +301,17 @@ func (s *Stack) handleSegment(p *netsim.Proc, in inSeg) {
 		l.backlog = append(l.backlog, c)
 		l.wq.WakeOne()
 	}
-	c.inner.OnSegment(seg, p.Now())
+	c.inner.OnSegment(seg, s.sim.Now())
 	s.markDirty(c)
 	c.signal()
 }
 
-// flush drains a conn's outgoing segments through the fabric.
-func (s *Stack) flush(p *netsim.Proc, c *Conn) {
-	segs, deadline := c.inner.Poll(p.Now())
+// flush drains a conn's outgoing segments through the fabric (scheduler
+// context). Send costs accumulate as debt, charged by the next service
+// pass — the packets are already on the wire, but further stack work
+// waits for the CPU, as it did behind the pump's blocking charge.
+func (s *Stack) flush(c *Conn) {
+	segs, deadline := c.inner.Poll(s.sim.Now())
 	var cost time.Duration
 	for _, seg := range segs {
 		wire := netsim.GetBuf(muxHeader + stream.HeaderSize + len(seg.Payload))
@@ -275,12 +328,9 @@ func (s *Stack) flush(p *netsim.Proc, c *Conn) {
 		}
 		cost += sc + s.node.PerPacketCPU()
 	}
-	if cost > 0 {
-		s.node.CPU().Use(p, cost)
-	}
+	s.debt += cost
 	if deadline > 0 {
 		s.armed[c] = deadline
-		s.wakePump() // re-evaluate sleep horizon
 	} else {
 		delete(s.armed, c)
 	}
@@ -342,7 +392,7 @@ func (s *Stack) Dial(p *netsim.Proc, peer netip.Addr, port uint16, timeout time.
 	c := s.newConn(key)
 	c.inner.Open(p.Now())
 	s.markDirty(c)
-	s.wakePump()
+	s.kick()
 	deadline := netsim.VTime(0)
 	if timeout > 0 {
 		deadline = p.Now() + timeout
@@ -470,7 +520,7 @@ func (c *Conn) Read(p *netsim.Proc, b []byte) (int, error) {
 		if n > 0 {
 			if c.inner.MaybeWindowUpdate() {
 				c.stack.markDirty(c)
-				c.stack.wakePump()
+				c.stack.kick()
 			}
 			return n, nil
 		}
@@ -501,7 +551,7 @@ func (c *Conn) Write(p *netsim.Proc, b []byte) (int, error) {
 		b = b[n:]
 		if n > 0 {
 			c.stack.markDirty(c)
-			c.stack.wakePump()
+			c.stack.kick()
 		}
 		if len(b) > 0 {
 			c.wq.Wait(p, 0)
@@ -518,7 +568,7 @@ func (c *Conn) Close() {
 	c.closedByUser = true
 	c.inner.Close()
 	c.stack.markDirty(c)
-	c.stack.wakePump()
+	c.stack.kick()
 }
 
 // Abort resets the connection immediately.
@@ -526,7 +576,7 @@ func (c *Conn) Abort() {
 	c.inner.Abort()
 	c.closedByUser = true
 	c.stack.markDirty(c)
-	c.stack.wakePump()
+	c.stack.kick()
 }
 
 // Stats exposes the underlying stream counters.
