@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check lint vet build test race bench-smoke fuzz-smoke chaos-smoke bench bench-full
+.PHONY: all check lint vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke bench bench-full
 
 all: check
 
@@ -8,8 +8,9 @@ all: check
 # build, tests (incl. race on the concurrent packages), a quick
 # allocation-guard smoke over the crypto fast paths, a short fuzz run
 # over the wire-format parsers, and a short-seed chaos run (determinism
-# plus HIP-recovers-the-migration, via the fault-injection harness).
-check: lint vet build test race bench-smoke fuzz-smoke chaos-smoke
+# plus HIP-recovers-the-migration, via the fault-injection harness), and
+# a short-seed storm run (control-plane overload under mass evacuation).
+check: lint vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke
 
 # hiplint (cmd/hiplint + internal/analysis) machine-checks the DESIGN.md
 # §5a contracts: buffer ownership (bufown), append-API aliasing
@@ -70,13 +71,23 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/benchcloud -run chaos -short -seed 1
 
-# Regenerate the tracked scheduler benchmark snapshot: microbench
-# latencies plus fig2/chaos short-run wall clock, against the recorded
-# pre-rewrite baseline. Commit the refreshed BENCH_SIM.json when the
-# numbers move for a reason.
+# Short-seed storm run: evacuates every service VM off one physical host
+# under inter-zone loss and a DNS CPU stall, and prints the re-contact /
+# recovery / shed table per transport tier. Byte-identical for a fixed seed.
+storm-smoke:
+	$(GO) run ./cmd/benchcloud -run storm -short -seed 1
+
+# Regenerate the tracked benchmark snapshots: BENCH_SIM.json (scheduler
+# microbench latencies plus fig2/chaos short-run wall clock, against the
+# recorded pre-rewrite baseline) and BENCH_CONTROL.json (the full-scale
+# storm experiment: re-contact latency, recovery time, shed and
+# retransmit counts per transport tier). Commit the refreshed files when
+# the numbers move for a reason.
 bench:
 	$(GO) run ./cmd/benchcloud -run simbench -json > BENCH_SIM.json
 	@cat BENCH_SIM.json
+	$(GO) run ./cmd/benchcloud -run storm -json > BENCH_CONTROL.json
+	@cat BENCH_CONTROL.json
 
 # Full Go benchmark sweep, including the paper-figure reproductions.
 bench-full:

@@ -8,6 +8,8 @@
 //	benchcloud -run bex       §IV-B: base-exchange and puzzle cost analysis
 //	benchcloud -run dos       §IV-B: BEX flood, fixed vs adaptive puzzles
 //	benchcloud -run chaos     fault schedule: request loss + recovery per scenario
+//	benchcloud -run storm     control-plane overload: host evacuation under a
+//	                          re-contact herd (-json emits BENCH_CONTROL.json)
 //	benchcloud -run all       everything above
 //	benchcloud -run simbench  scheduler throughput + experiment wall clock
 //	                          (not part of `all`; -json emits BENCH_SIM.json)
@@ -29,10 +31,10 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: fig2|rtt|fig3|private|bex|dos|chaos|simbench|all")
+	run := flag.String("run", "all", "experiment: fig2|rtt|fig3|private|bex|dos|chaos|storm|simbench|all")
 	short := flag.Bool("short", false, "shorter virtual durations")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	jsonOut := flag.Bool("json", false, "simbench: emit the BENCH_SIM.json document on stdout")
+	jsonOut := flag.Bool("json", false, "simbench/storm: emit the BENCH_SIM.json / BENCH_CONTROL.json document on stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -120,6 +122,10 @@ func main() {
 		fmt.Println("running chaos fault schedule (3 scenarios)...")
 		_, tbl := experiments.RunChaos(experiments.ChaosConfig{Duration: chaosDur, Seed: *seed})
 		fmt.Println(tbl)
+	}
+	if want("storm") {
+		ran = true
+		runStormBench(*seed, *short, *jsonOut)
 	}
 	if strings.Contains(*run, "simbench") {
 		ran = true

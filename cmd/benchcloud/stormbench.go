@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hipcloud/internal/experiments"
+	"hipcloud/internal/secio"
+)
+
+// stormScenarioJSON is one transport tier's column of BENCH_CONTROL.json.
+type stormScenarioJSON struct {
+	Scenario   string `json:"scenario"`
+	Clients    int    `json:"clients"`
+	ContactsOK int    `json:"contacts_ok"`
+	Redials    int    `json:"redials"`
+	EchoOK     int    `json:"echo_ok"`
+	EchoFail   int    `json:"echo_fail"`
+	Recontacts int    `json:"recontacts"`
+	// Re-contact latency: dead-peer detection to restored service.
+	RecontactP50Ms float64 `json:"recontact_p50_ms"`
+	RecontactP99Ms float64 `json:"recontact_p99_ms"`
+	// Dipped: connectivity fell below 95% after the evacuation.
+	// RecoveryMs is evacuation-to-95%-reconnected; 0 with dipped=true
+	// means the herd never recovered inside the run.
+	Dipped     bool    `json:"dipped"`
+	RecoveryMs float64 `json:"recovery_ms"`
+	// Backpressure counters: HIP responder admission queue, rendezvous
+	// relay rate limiter, DNS server pending-queue shedding.
+	CtlShed uint64 `json:"ctl_shed"`
+	RVSShed uint64 `json:"rvs_shed"`
+	DNSShed uint64 `json:"dns_shed"`
+	// HIP control-plane retransmissions across all hosts — the
+	// amplification the jittered capped backoff must bound.
+	Retransmits uint64 `json:"retransmits"`
+}
+
+// stormBenchReport is the BENCH_CONTROL.json document: the storm
+// experiment's per-tier resilience numbers at the tracked configuration.
+type stormBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	Seed        int64  `json:"seed"`
+	// Schedule parameters, so the numbers are interpretable standalone.
+	VirtualDurationS float64             `json:"virtual_duration_s"`
+	Servers          int                 `json:"servers"`
+	Clients          int                 `json:"clients"`
+	Schedule         string              `json:"schedule"`
+	Scenarios        []stormScenarioJSON `json:"scenarios"`
+}
+
+// runStormBench runs the storm experiment and, with jsonOut, emits the
+// BENCH_CONTROL.json document on stdout (progress goes to stderr so stdout
+// stays valid JSON for redirection).
+func runStormBench(seed int64, short, jsonOut bool) {
+	cfg := experiments.StormConfig{Seed: seed}
+	if short {
+		cfg.Duration = 12 * time.Second
+		cfg.Servers = 4
+		cfg.Clients = 48
+	}
+	if !jsonOut {
+		fmt.Println("running storm (evacuation + re-contact herd, 3 scenarios)...")
+		_, tbl := experiments.RunStorm(cfg)
+		fmt.Println(tbl)
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "storm: evacuation + re-contact herd, 3 scenarios...")
+	results, _ := experiments.RunStorm(cfg)
+	cfg.Duration = 60 * time.Second // mirror fill() for the report header
+	if short {
+		cfg.Duration = 12 * time.Second
+	}
+	rep := stormBenchReport{
+		GeneratedBy:      "go run ./cmd/benchcloud -run storm -json (via make bench)",
+		GoVersion:        runtime.Version(),
+		Seed:             seed,
+		VirtualDurationS: cfg.Duration.Seconds(),
+		Servers:          cfg.Servers,
+		Clients:          cfg.Clients,
+		Schedule: "0.30D inter-zone loss 8% for 0.25D; 0.35D zone-a host 0 fails, " +
+			"all service VMs evacuate at once; 0.36D DNS CPU stall for 0.06D",
+	}
+	if rep.Servers == 0 {
+		rep.Servers = 8
+	}
+	if rep.Clients == 0 {
+		rep.Clients = 500
+	}
+	for _, r := range results {
+		rep.Scenarios = append(rep.Scenarios, stormScenarioJSON{
+			Scenario:       kindName(r.Kind),
+			Clients:        r.Clients,
+			ContactsOK:     r.ContactsOK,
+			Redials:        r.Redials,
+			EchoOK:         r.EchoOK,
+			EchoFail:       r.EchoFail,
+			Recontacts:     r.Recontacts,
+			RecontactP50Ms: float64(r.RecontactP50) / 1e6,
+			RecontactP99Ms: float64(r.RecontactP99) / 1e6,
+			Dipped:         r.Dipped,
+			RecoveryMs:     float64(r.Recovery) / 1e6,
+			CtlShed:        r.CtlShed,
+			RVSShed:        r.RVSShed,
+			DNSShed:        r.DNSShed,
+			Retransmits:    r.Retransmits,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "storm:", err)
+		os.Exit(1)
+	}
+}
+
+func kindName(k secio.Kind) string {
+	switch k {
+	case secio.HIP:
+		return "hip"
+	case secio.SSL:
+		return "ssl"
+	default:
+		return "basic"
+	}
+}

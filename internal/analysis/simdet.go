@@ -33,6 +33,8 @@ var virtualTimePkgs = map[string]bool{
 	"faults":      true,
 	"hip":         true,
 	"cloud":       true,
+	"rvs":         true,
+	"hipdns":      true,
 }
 
 // wallClockFuncs are the time-package functions that read or wait on the

@@ -129,23 +129,84 @@ func (v *VM) RestartIn(to *Zone) netip.Addr {
 	return v.Zone.cloud.Migrate(v, to)
 }
 
+// DefaultHostCapacity is how many VMs a physical host accepts unless the
+// zone overrides it (two, matching the co-residency setup of §III-B).
+const DefaultHostCapacity = 2
+
 // Zone is one availability zone: a switch with VMs attached.
 type Zone struct {
-	Name    string
-	Router  *netsim.Node
-	cloud   *Cloud
-	nextIP  uint32
-	subnet  netip.Prefix
-	vms     []*VM
-	counter int
+	Name   string
+	Router *netsim.Node
+	cloud  *Cloud
+	nextIP uint32
+	subnet netip.Prefix
+	vms    []*VM
+	// HostCapacity is the number of VMs a physical host in this zone
+	// accepts (0 = DefaultHostCapacity). Placement is first-fit: each
+	// host fills to capacity before the next opens, so consecutive
+	// launches co-reside and an evacuation packs into surviving hosts.
+	HostCapacity int
+	// hostLoad tracks resident VMs per physical host index; failedHosts
+	// marks hosts removed from placement (Evacuate).
+	hostLoad    []int
+	failedHosts map[int]bool
 	// uplinks maps peer zones to the next-hop address reaching them.
 	uplinks map[*Zone]netip.Addr
 	// links retains the inter-zone link objects for fault injection.
 	links map[*Zone]*netsim.Link
 }
 
-// VMs returns the zone's VMs in launch order.
+// VMs returns the VMs currently resident in the zone, in arrival order
+// (launches append; migrations move membership to the target zone).
 func (z *Zone) VMs() []*VM { return z.vms }
+
+func (z *Zone) capacity() int {
+	if z.HostCapacity > 0 {
+		return z.HostCapacity
+	}
+	return DefaultHostCapacity
+}
+
+// placeVM assigns a physical host first-fit, skipping failed hosts and
+// opening a fresh host when every existing one is full.
+func (z *Zone) placeVM() int {
+	for i, n := range z.hostLoad {
+		if z.failedHosts[i] || n >= z.capacity() {
+			continue
+		}
+		z.hostLoad[i]++
+		return i
+	}
+	z.hostLoad = append(z.hostLoad, 1)
+	return len(z.hostLoad) - 1
+}
+
+// releaseVM returns a VM's slot on its physical host.
+func (z *Zone) releaseVM(host int) {
+	if host >= 0 && host < len(z.hostLoad) && z.hostLoad[host] > 0 {
+		z.hostLoad[host]--
+	}
+}
+
+// Load reports the zone's resident VM count (live, post-migration).
+func (z *Zone) Load() int {
+	total := 0
+	for _, n := range z.hostLoad {
+		total += n
+	}
+	return total
+}
+
+// HostVMs returns the VMs resident on one physical host, in arrival order.
+func (z *Zone) HostVMs(host int) []*VM {
+	var out []*VM
+	for _, vm := range z.vms {
+		if vm.PhysHost == host {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
 
 // Cloud is a deployment of one or more zones.
 type Cloud struct {
@@ -178,12 +239,13 @@ func New(n *netsim.Network, profile Profile) *Cloud {
 func (c *Cloud) AddZone(name string) *Zone {
 	idx := len(c.Zones)
 	z := &Zone{
-		Name:    fmt.Sprintf("%s/zone-%s", c.Profile.Name, name),
-		Router:  c.Net.AddRouter(fmt.Sprintf("zsw-%s-%d", name, idx)),
-		cloud:   c,
-		subnet:  netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", 10+idx)),
-		uplinks: make(map[*Zone]netip.Addr),
-		links:   make(map[*Zone]*netsim.Link),
+		Name:        fmt.Sprintf("%s/zone-%s", c.Profile.Name, name),
+		Router:      c.Net.AddRouter(fmt.Sprintf("zsw-%s-%d", name, idx)),
+		cloud:       c,
+		subnet:      netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", 10+idx)),
+		failedHosts: make(map[int]bool),
+		uplinks:     make(map[*Zone]netip.Addr),
+		links:       make(map[*Zone]*netsim.Link),
 	}
 	// Inter-zone links: connect each new zone to every existing one.
 	for _, prev := range c.Zones {
@@ -216,8 +278,8 @@ func (z *Zone) allocIP() netip.Addr {
 	return netip.AddrFrom4([4]byte{b[0], b[1], byte(z.nextIP >> 8), byte(1 + z.nextIP&0xff)})
 }
 
-// Launch starts a VM of the given type in the zone. Placement assigns
-// physical hosts round-robin with two VMs per host, so consecutive
+// Launch starts a VM of the given type in the zone. Placement is
+// first-fit at Zone.HostCapacity VMs per physical host, so consecutive
 // launches of different tenants co-reside — the multi-tenancy threat the
 // paper opens with.
 func (z *Zone) Launch(name string, t InstanceType, tenant *Tenant) *VM {
@@ -236,11 +298,10 @@ func (z *Zone) Launch(name string, t InstanceType, tenant *Tenant) *VM {
 		Type:     t,
 		Tenant:   tenant,
 		Zone:     z,
-		PhysHost: z.counter / 2,
+		PhysHost: z.placeVM(),
 		addrs:    []netip.Addr{addr},
 		link:     l,
 	}
-	z.counter++
 	z.vms = append(z.vms, vm)
 	z.cloud.vms[name] = vm
 	if tenant != nil {
@@ -323,11 +384,65 @@ func (c *Cloud) Migrate(vm *VM, to *Zone) netip.Addr {
 		Jitter:    c.Profile.LinkJitter,
 	})
 	vm.Node.AddDefaultRoute(gw)
+	// The fresh attachment becomes primary: control traffic and replies
+	// must source from the live locator, not the abandoned one.
+	vm.Node.PromoteAddr(addr)
+	vm.Zone.releaseVM(vm.PhysHost)
+	if vm.Zone != to {
+		vm.Zone.removeVM(vm)
+		to.vms = append(to.vms, vm)
+	}
 	vm.Zone = to
+	vm.PhysHost = to.placeVM()
 	vm.addrs = append([]netip.Addr{addr}, vm.addrs...)
 	vm.link = l
 	if vm.Tenant != nil {
 		c.vlanOf[addr] = vm.Tenant.VLAN
 	}
 	return addr
+}
+
+// removeVM drops a VM from the zone's residency list, preserving order.
+func (z *Zone) removeVM(vm *VM) {
+	for i, v := range z.vms {
+		if v == vm {
+			z.vms = append(z.vms[:i], z.vms[i+1:]...)
+			return
+		}
+	}
+}
+
+// Evacuate fails physical host `host` in zone z: its access links go
+// down and every resident VM rehomes at once via Migrate — the
+// synchronized locator change that fires a HIP UPDATE storm from every
+// association those VMs hold. VMs move in arrival order, each to the
+// least-loaded zone (first-fit within it, skipping failed hosts), so the
+// herd packs into surviving capacity. It returns the moved VMs in the
+// order they moved; callers propagate the new locators (hipsim MoveTo,
+// RVS refresh, DNS update) exactly as for a planned migration.
+func (c *Cloud) Evacuate(z *Zone, host int) []*VM {
+	z.failedHosts[host] = true
+	var moved []*VM
+	for _, vm := range z.HostVMs(host) {
+		if vm.link != nil {
+			// The dying host's uplink goes dark: in-flight packets to the
+			// old locator are lost, not delivered by a ghost.
+			vm.link.Down = true
+		}
+		c.Migrate(vm, c.leastLoadedZone())
+		moved = append(moved, vm)
+	}
+	return moved
+}
+
+// leastLoadedZone picks the zone with the fewest resident VMs (first in
+// index order on ties — deterministic).
+func (c *Cloud) leastLoadedZone() *Zone {
+	best := c.Zones[0]
+	for _, z := range c.Zones[1:] {
+		if z.Load() < best.Load() {
+			best = z
+		}
+	}
+	return best
 }

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -146,6 +147,73 @@ func TestMigrationChangesAddressAndRoutes(t *testing.T) {
 	if !ok {
 		t.Fatal("migrated VM unreachable at new address")
 	}
+}
+
+func TestEvacuatePacksIntoSurvivingHosts(t *testing.T) {
+	s := netsim.New(1)
+	c := New(netsim.NewNetwork(s), EC2)
+	zb := c.AddZone("b")
+	za := c.Zones[0]
+	za.HostCapacity = 4
+	var onHost0 []*VM
+	for i := 0; i < 6; i++ {
+		vm := za.Launch(fmt.Sprintf("vm%d", i), Micro, nil)
+		if vm.PhysHost == 0 {
+			onHost0 = append(onHost0, vm)
+		}
+	}
+	if len(onHost0) != 4 {
+		t.Fatalf("first-fit packed %d VMs on host 0, want 4", len(onHost0))
+	}
+	oldAddrs := map[*VM]netip.Addr{}
+	oldLinks := map[*VM]*netsim.Link{}
+	for _, vm := range onHost0 {
+		oldAddrs[vm] = vm.Addr()
+		oldLinks[vm] = vm.AccessLink()
+	}
+	moved := c.Evacuate(za, 0)
+	if len(moved) != 4 {
+		t.Fatalf("evacuated %d VMs, want 4", len(moved))
+	}
+	for _, vm := range moved {
+		if vm.Addr() == oldAddrs[vm] {
+			t.Fatalf("%s kept its locator across evacuation", vm.Name)
+		}
+		if !oldLinks[vm].Down {
+			t.Fatalf("%s's old access link still up", vm.Name)
+		}
+		if vm.Zone == za && vm.PhysHost == 0 {
+			t.Fatalf("%s still placed on the failed host", vm.Name)
+		}
+	}
+	// The herd spread: the empty zone b absorbed the bulk of it.
+	if zb.Load() == 0 {
+		t.Fatal("least-loaded zone b received no evacuated VMs")
+	}
+	if za.Load()+zb.Load() != 6 {
+		t.Fatalf("loads za=%d zb=%d, want total 6", za.Load(), zb.Load())
+	}
+	// A later launch must not land on the failed host either.
+	late := za.Launch("late", Micro, nil)
+	if late.PhysHost == 0 {
+		t.Fatal("launch placed a VM on a failed host")
+	}
+	// Zone membership moved with the VMs.
+	for _, vm := range moved {
+		if vm.Zone == za {
+			continue
+		}
+		found := false
+		for _, v := range vm.Zone.VMs() {
+			if v == vm {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s resident in %s but missing from its VM list", vm.Name, vm.Zone.Name)
+		}
+	}
+	s.Shutdown()
 }
 
 func TestCostModelsAgreeAcrossProtocols(t *testing.T) {

@@ -134,6 +134,7 @@ func Deploy(cfg DeployConfig) *Deployment {
 			return &secio.Transport{
 				Kind: secio.SSL, Identity: id, Costs: cloud.TLSCosts(cfg.UseRSA),
 				Stack: simtcp.NewStack(node, simtcp.NewPlainFabric(node)),
+				Rand:  s.Rand(),
 			}, node.Addr(), nil
 		default:
 			return &secio.Transport{
@@ -187,7 +188,10 @@ func Deploy(cfg DeployConfig) *Deployment {
 		case secio.Basic:
 			back = front
 		case secio.SSL:
-			back = &secio.Transport{Kind: secio.SSL, Stack: front.Stack, Costs: cloud.TLSCosts(cfg.UseRSA)}
+			back = &secio.Transport{
+				Kind: secio.SSL, Stack: front.Stack, Costs: cloud.TLSCosts(cfg.UseRSA),
+				Rand: s.Rand(),
+			}
 		case secio.HIP:
 			back, _, _ = mk(lbNode)
 		}

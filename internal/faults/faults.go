@@ -60,6 +60,12 @@ type Injector struct {
 	// node carries one composite FaultFilter walking its slice (insertion
 	// order, never a map, so drop decisions are deterministic).
 	rules map[*netsim.Node][]*partRule
+
+	// onNodeDown callbacks fire (in registration order) whenever DownNode
+	// powers a node off — the hook control-plane services use to learn of
+	// crashes out of band, e.g. a rendezvous server unregistering the
+	// dead host's locator instead of waiting out the registration TTL.
+	onNodeDown []func(*netsim.Node)
 }
 
 // partRule blocks traffic between two node groups. Membership is decided
@@ -196,12 +202,20 @@ func (in *Injector) dropRule(n *netsim.Node, r *partRule) {
 	}
 }
 
+// OnNodeDown registers fn to run whenever DownNode takes a node down.
+func (in *Injector) OnNodeDown(fn func(*netsim.Node)) {
+	in.onNodeDown = append(in.onNodeDown, fn)
+}
+
 // DownNode powers a node off at `at` and back on dur later (zero dur:
 // stays down). Processes on the node keep running; its traffic dies.
 func (in *Injector) DownNode(n *netsim.Node, at, dur time.Duration) {
 	in.sim.At(at, func() {
 		n.Down = true
 		in.record("node down: " + n.Name())
+		for _, fn := range in.onNodeDown {
+			fn(n)
+		}
 	})
 	if dur > 0 {
 		in.sim.At(at+dur, func() {

@@ -1,0 +1,92 @@
+package hip
+
+import "net/netip"
+
+// Pending is one inbound control packet queued for processing.
+type Pending struct {
+	Data []byte
+	Src  netip.Addr
+}
+
+// AdmissionQueue is the responder-side admission control for inbound HIP
+// control traffic: a bounded FIFO of unprocessed BEX/UPDATE packets with
+// deterministic drop-oldest shedding. Drivers (hipsim.Fabric, real-UDP
+// daemons) enqueue every arriving control packet here and drain it from
+// their service loop; when a re-contact herd outruns the host's CPU the
+// queue sheds the *oldest* packets — the ones most likely to have been
+// retransmitted already — so the responder degrades to bounded latency
+// on fresh work instead of collapsing under an ever-growing backlog.
+//
+// The queue's depth doubles as the load signal for the adaptive puzzle
+// difficulty controller (Host.SetBacklog): shedding and harder puzzles
+// engage together, exactly the DoS-path degradation the paper describes.
+type AdmissionQueue struct {
+	max  int
+	q    []Pending // ring buffer: [head, head+n)
+	head int
+	n    int
+
+	// Shed counts packets dropped by admission control (drop-oldest).
+	Shed uint64
+}
+
+// NewAdmissionQueue creates a queue bounded at max pending packets
+// (max <= 0 means unbounded).
+func NewAdmissionQueue(max int) *AdmissionQueue {
+	return &AdmissionQueue{max: max}
+}
+
+// Len reports the number of queued packets.
+func (a *AdmissionQueue) Len() int { return a.n }
+
+// Max reports the configured bound (0 = unbounded).
+func (a *AdmissionQueue) Max() int { return a.max }
+
+// Push enqueues p, shedding the oldest queued packet first when the
+// queue is at its bound. It reports whether a packet was shed.
+func (a *AdmissionQueue) Push(p Pending) (shed bool) {
+	if a.max > 0 && a.n >= a.max {
+		// Drop-oldest: the head of the queue has waited longest and is
+		// the most likely to be a stale retransmit; the fresh packet
+		// carries the newest view of the peer's state.
+		a.head = (a.head + 1) % len(a.q)
+		a.n--
+		a.Shed++
+		shed = true
+	}
+	if a.n == len(a.q) {
+		grown := make([]Pending, a.growTo())
+		for i := 0; i < a.n; i++ {
+			grown[i] = a.q[(a.head+i)%len(a.q)]
+		}
+		a.q = grown
+		a.head = 0
+	}
+	a.q[(a.head+a.n)%len(a.q)] = p
+	a.n++
+	return shed
+}
+
+// growTo sizes the ring when it fills: doubling, clamped to the bound.
+func (a *AdmissionQueue) growTo() int {
+	want := 2 * len(a.q)
+	if want < 8 {
+		want = 8
+	}
+	if a.max > 0 && want > a.max {
+		want = a.max
+	}
+	return want
+}
+
+// Pop dequeues the oldest packet.
+func (a *AdmissionQueue) Pop() (Pending, bool) {
+	if a.n == 0 {
+		return Pending{}, false
+	}
+	p := a.q[a.head]
+	a.q[a.head] = Pending{} // drop the reference for GC
+	a.head = (a.head + 1) % len(a.q)
+	a.n--
+	return p, true
+}

@@ -49,6 +49,10 @@ type Association struct {
 	retransDst   netip.Addr
 	retransAt    time.Duration
 	retransTries int
+	// retransDeadline is the absolute give-up time (16×RetransmitBase
+	// past arming): jitter may stretch individual intervals but never the
+	// total, keeping failure strictly inside the drivers' dial timeout.
+	retransDeadline time.Duration
 
 	// Stats.
 	DataSent, DataRcvd uint64
@@ -75,13 +79,21 @@ func (a *Association) armRetrans(h *Host, dst netip.Addr, pkt []byte, now time.D
 	a.retransPkt = pkt
 	a.retransDst = dst
 	a.retransTries = 0
-	a.retransAt = now + h.cfg.RetransmitBase
+	// Jitter the very first retry too: in a synchronized herd it is the
+	// largest collision of all (every peer armed in the same instant).
+	first := h.cfg.RetransmitBase
+	if h.jitter != nil {
+		first = first/2 + time.Duration(float64(first)*h.jitter())
+	}
+	a.retransAt = now + first
+	a.retransDeadline = now + 16*h.cfg.RetransmitBase
 }
 
 func (a *Association) cancelRetrans() {
 	a.retransPkt = nil
 	a.retransAt = 0
 	a.retransTries = 0
+	a.retransDeadline = 0
 }
 
 // SealData encrypts an application payload for the peer, returning the ESP

@@ -164,7 +164,10 @@ func (h *Host) handleI1(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 		}
 	}
 	h.BEXResponded++
-	k := h.cfg.Puzzle.K(h.noteI1(now))
+	// Load for the difficulty controller is arrival rate plus the
+	// driver-reported admission backlog: a service loop that has fallen
+	// behind hardens puzzles even between arrival bursts.
+	k := h.cfg.Puzzle.K(h.noteI1(now) + h.backlog)
 	tmpl := h.r1TemplateFor(k)
 	r1 := &hipwire.Packet{
 		Type:        hipwire.R1,
@@ -193,13 +196,6 @@ func (h *Host) handleI1(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 }
 
 func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) {
-	// Duplicate I2 for an established association: resend R2 (R2 loss).
-	if a, ok := h.assocs[pkt.SenderHIT]; ok && a.state == Established && !a.initiator {
-		if a.retransPkt != nil {
-			h.emit(src, a.retransPkt)
-		}
-		return
-	}
 	solP, ok := pkt.Get(hipwire.ParamSolution)
 	if !ok {
 		h.PacketsDropped++
@@ -209,6 +205,21 @@ func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 	if err != nil {
 		h.PacketsDropped++
 		return
+	}
+	// Duplicate I2 for an established association — same puzzle solution
+	// we already accepted — means our R2 was lost: resend it. A fresh
+	// solution from a HIT we believe established is NOT a duplicate: the
+	// peer lost its state (crash, silent close on a dead path) and is
+	// re-contacting. Falling through lets the new exchange replace the
+	// stale association once its solution and signature verify; answering
+	// it with the old R2 would wedge that peer forever.
+	if a, ok := h.assocs[pkt.SenderHIT]; ok && a.state == Established && !a.initiator {
+		if sol.I == a.puzzleI && sol.J == a.puzzleJ {
+			if a.retransPkt != nil {
+				h.emit(src, a.retransPkt)
+			}
+			return
+		}
 	}
 	// Stateless puzzle verification: recompute I, then check J.
 	wantI := h.statelessPuzzleI(pkt.SenderHIT, h.HIT())
@@ -311,7 +322,9 @@ func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 		h.PacketsDropped++
 		return
 	}
-	// Association established on the responder side.
+	// Association established on the responder side. puzzleI/J fingerprint
+	// the accepted solution so a retransmitted I2 (R2 loss) is told apart
+	// from a fresh exchange by a peer that lost its state.
 	a := &Association{
 		PeerHIT:       pkt.SenderHIT,
 		PeerLocator:   src,
@@ -323,6 +336,8 @@ func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 		keys:          keys,
 		peerID:        peerID,
 		km:            km,
+		puzzleI:       sol.I,
+		puzzleJ:       sol.J,
 		establishedAt: now,
 	}
 	pair, err := esp.NewPair(keys, a.localSPI, a.remoteSPI)
@@ -331,6 +346,12 @@ func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 		return
 	}
 	a.espPair = pair
+	if old, ok := h.assocs[a.PeerHIT]; ok {
+		old.cancelRetrans()
+		if old.localSPI != 0 {
+			delete(h.bySPI, old.localSPI)
+		}
+	}
 	h.assocs[a.PeerHIT] = a
 	h.bySPI[a.localSPI] = a
 	h.BEXCompleted++

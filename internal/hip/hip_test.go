@@ -239,6 +239,57 @@ func TestBEXRetransmissionRecoversLoss(t *testing.T) {
 	}
 }
 
+// TestReEstablishAfterSilentPeerLoss: an initiator that lost its state
+// without a CLOSE reaching the responder (crash, or teardown on a dead
+// path after the peer migrated) must be able to run a fresh base
+// exchange. The responder still holds an Established association for that
+// HIT; it must recognize the fresh puzzle solution as a new exchange and
+// replace the stale state instead of replaying the old R2 forever.
+func TestReEstablishAfterSilentPeerLoss(t *testing.T) {
+	w := newWire(t)
+	a := newHost(t, idA, locA)
+	b := newHost(t, idB, locB)
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+	bb, _ := b.Association(a.HIT())
+	oldLocal, oldRemote := bb.SPIs()
+
+	// The initiator's state vanishes silently: a fresh host, same identity.
+	// A restarted daemon has fresh entropy (a default-seeded restart would
+	// replay the original exchange byte for byte, which IS a duplicate).
+	a2h, err := NewHost(Config{
+		Identity: idA, Locator: locA,
+		Rand: bytes.NewReader([]byte("restart-entropy-1")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := a2h
+	w.add(a2, locA)
+	if err := a2.Connect(b.HIT(), locB, w.now); err != nil {
+		t.Fatal(err)
+	}
+	w.pump()
+	if stateOf(a2, b) != Established {
+		t.Fatalf("re-contact wedged: initiator state %v", stateOf(a2, b))
+	}
+	nb, ok := b.Association(a.HIT())
+	if !ok || nb.State() != Established {
+		t.Fatalf("responder state after re-contact: %v", stateOf(b, a2))
+	}
+	newLocal, newRemote := nb.SPIs()
+	if newLocal == oldLocal && newRemote == oldRemote {
+		t.Fatal("responder kept the stale association's SPIs — old R2 replayed")
+	}
+	// The replaced association's SPIs must cross-match the new initiator's.
+	na, _ := a2.Association(b.HIT())
+	al, ar := na.SPIs()
+	if al != newRemote || ar != newLocal {
+		t.Fatalf("SPI mismatch after re-establish: a=(%d,%d) b=(%d,%d)", al, ar, newLocal, newRemote)
+	}
+}
+
 func TestBEXFailsAfterMaxRetries(t *testing.T) {
 	w := newWire(t)
 	a := newHost(t, idA, locA)

@@ -160,6 +160,18 @@ type Config struct {
 	// RetransmitBase is the initial control-packet retransmission
 	// timeout (default 500ms, doubling up to 4 retries).
 	RetransmitBase time.Duration
+	// RetransmitCap bounds a single backoff interval (default 8×Base —
+	// the natural maximum of the 4-retry doubling schedule; a lower cap
+	// trades give-up latency for faster probing under long outages).
+	RetransmitCap time.Duration
+	// Jitter, when non-nil, returns uniform [0,1) used to spread
+	// retransmission backoff by ±50%. Synchronized peers (a mass
+	// migration, a re-contact herd) otherwise retry in lockstep and
+	// re-amplify the very burst that made them retry. Drivers wire this
+	// to the simulation's seeded RNG (deterministic, shared across
+	// hosts so their draws de-correlate) or to crypto/rand for real
+	// transports. Nil disables jitter.
+	Jitter func() float64
 	// RekeyThreshold rekeys the ESP SAs after this many outbound
 	// packets (0 = DefaultRekeyThreshold). See Maintain.
 	RekeyThreshold uint32
@@ -193,9 +205,21 @@ type Host struct {
 	i1Load float64
 	lastI1 time.Duration
 
+	// jitter spreads retransmission backoff (see Config.Jitter; drivers
+	// may also wire it late via SetJitter).
+	jitter func() float64
+	// backlog is the driver-reported admission-queue depth, added to the
+	// decayed I1 rate as input to the puzzle difficulty controller: when
+	// the service loop falls behind, puzzles harden even if the
+	// instantaneous arrival rate looks tame.
+	backlog int
+
 	// Stats visible to experiments.
 	BEXInitiated, BEXResponded, BEXCompleted uint64
 	PacketsDropped                           uint64
+	// Retransmits counts control-packet retransmissions — the herd
+	// amplification signal the storm experiment reports.
+	Retransmits uint64
 }
 
 // r1Template is a pre-signed R1 for a given difficulty K (puzzle I and
@@ -244,6 +268,7 @@ func NewHost(cfg Config) (*Host, error) {
 		seed = int64(binary.BigEndian.Uint64(b[:]))
 	}
 	h.rng = rand.New(rand.NewSource(seed))
+	h.jitter = cfg.Jitter
 	h.r1Secret = make([]byte, 32)
 	h.rng.Read(h.r1Secret)
 	// Long-lived DH keypair (the "R1 pool" key). Charged as one keygen.
@@ -374,6 +399,29 @@ func (h *Host) noteI1(now time.Duration) int {
 // I1Load exposes the responder's current decayed I1 arrival estimate.
 func (h *Host) I1Load() float64 { return h.i1Load }
 
+// SetJitter installs a backoff-jitter source if none was configured.
+// Drivers call it after construction (hipsim wires the shared simulation
+// RNG here); an explicitly configured Config.Jitter wins. Note that the
+// per-host rng would be the WRONG source: simulation hosts all default to
+// seed 1, so per-host draws are identical across peers and the herd stays
+// in lockstep. De-correlation requires a source shared across hosts.
+func (h *Host) SetJitter(fn func() float64) {
+	if h.jitter == nil {
+		h.jitter = fn
+	}
+}
+
+// SetBacklog reports the driver's admission-queue depth (see Host.backlog).
+func (h *Host) SetBacklog(n int) { h.backlog = n }
+
+// retransmitCap returns the bound on a single backoff interval.
+func (h *Host) retransmitCap() time.Duration {
+	if h.cfg.RetransmitCap > 0 {
+		return h.cfg.RetransmitCap
+	}
+	return 8 * h.cfg.RetransmitBase
+}
+
 // statelessPuzzleI derives the puzzle I for an initiator without storing
 // state: HMAC(secret, HIT-I | HIT-R) truncated to 64 bits.
 func (h *Host) statelessPuzzleI(hitI, hitR netip.Addr) uint64 {
@@ -402,7 +450,7 @@ func (h *Host) OnTimer(now time.Duration) {
 		if a.retransAt == 0 || now < a.retransAt {
 			continue
 		}
-		if a.retransTries >= 4 {
+		if a.retransTries >= 4 || (a.retransDeadline != 0 && now >= a.retransDeadline) {
 			a.retransAt = 0
 			a.setState(h, Failed)
 			h.event(EventFailed, a.PeerHIT, a.PeerLocator)
@@ -421,7 +469,25 @@ func (h *Host) OnTimer(now time.Duration) {
 		// deadline. (The previous shift doubled the first retry too and
 		// gave up only at 31×base = 15.5s, past the timeout.)
 		backoff := h.cfg.RetransmitBase << uint(a.retransTries-1)
-		a.retransAt = now + backoff
+		if c := h.retransmitCap(); backoff > c {
+			backoff = c
+		}
+		if h.jitter != nil {
+			// ±50%: uniform over [backoff/2, 3·backoff/2). Without this,
+			// peers that saw the same loss event share identical schedules
+			// and their retries re-collide forever.
+			backoff = backoff/2 + time.Duration(float64(backoff)*h.jitter())
+		}
+		at := now + backoff
+		// Jitter stretches individual intervals but must not stretch the
+		// give-up past the cumulative 16×base budget above: clamp to the
+		// absolute deadline recorded at arm time so the BEXTimeout
+		// invariant survives any jitter draw.
+		if a.retransDeadline != 0 && at > a.retransDeadline {
+			at = a.retransDeadline
+		}
+		a.retransAt = at
+		h.Retransmits++
 		h.emit(a.retransDst, a.retransPkt)
 	}
 }

@@ -73,7 +73,8 @@ type Record struct {
 
 // --- wire codec ---
 
-// message layout: txid(2) flags(1: 0=query 1=response, |2=nxdomain)
+// message layout: txid(2) flags(1: 0=query 1=response, |2=nxdomain,
+// |4=retry-after i.e. server shed the query under overload)
 // qtype(2) qnameLen(1) qname answerCount(1) answers...
 // answer: type(2) ttlSecs(4) dataLen(2) data.
 
@@ -166,6 +167,18 @@ func decodeRecordData(t RRType, data []byte) (Record, error) {
 	return r, nil
 }
 
+// encodeRetryAfter builds the shed response: a response-flagged message
+// with the retry-after bit and no answers. The resolver backs off and
+// retries (or serves stale) instead of hammering an overloaded server.
+func encodeRetryAfter(txid uint16, name string, t RRType) []byte {
+	b := make([]byte, 0, 8+len(name))
+	b = binary.BigEndian.AppendUint16(b, txid)
+	b = append(b, 1|4)
+	b = binary.BigEndian.AppendUint16(b, uint16(t))
+	b = putString(b, name)
+	return append(b, 0)
+}
+
 func encodeResponse(txid uint16, name string, t RRType, recs []Record) []byte {
 	b := make([]byte, 0, 64)
 	b = binary.BigEndian.AppendUint16(b, txid)
@@ -188,12 +201,13 @@ func encodeResponse(txid uint16, name string, t RRType, recs []Record) []byte {
 }
 
 type parsedMsg struct {
-	txid     uint16
-	response bool
-	nxdomain bool
-	qtype    RRType
-	name     string
-	answers  []Record
+	txid       uint16
+	response   bool
+	nxdomain   bool
+	retryAfter bool
+	qtype      RRType
+	name       string
+	answers    []Record
 }
 
 func parseMessage(b []byte) (parsedMsg, error) {
@@ -204,6 +218,7 @@ func parseMessage(b []byte) (parsedMsg, error) {
 	m.txid = binary.BigEndian.Uint16(b)
 	m.response = b[2]&1 != 0
 	m.nxdomain = b[2]&2 != 0
+	m.retryAfter = b[2]&4 != 0
 	m.qtype = RRType(binary.BigEndian.Uint16(b[3:]))
 	nameLen := int(b[5])
 	if len(b) < 6+nameLen {
@@ -242,13 +257,35 @@ func parseMessage(b []byte) (parsedMsg, error) {
 	return m, nil
 }
 
+// DefaultMaxPending bounds the server's inflight-query queue when a
+// per-query cost makes service time non-zero.
+const DefaultMaxPending = 64
+
 // Server is an authoritative nameserver on a simulated node.
 type Server struct {
 	node *netsim.Node
 	sock *netsim.UDPSocket
 	zone map[string][]Record
-	// Queries counts served lookups.
+
+	// PerQueryCost charges this much node CPU per served query. Zero
+	// keeps the original free inline path; non-zero makes the server a
+	// finite resource: queries queue behind the charge, the queue is
+	// bounded at MaxPending, and overflow is answered with retry-after
+	// instead of silence — bounded inflight, shed the rest.
+	PerQueryCost time.Duration
+	// MaxPending bounds the pending queue (0 = DefaultMaxPending;
+	// only meaningful with PerQueryCost > 0).
+	MaxPending int
+	pending    []netsim.Datagram
+	kicked     bool
+	charging   bool
+	serviceFn  func()
+	doneFn     func()
+
+	// Queries counts served lookups; Shed counts queries answered with
+	// retry-after because the pending queue was full.
 	Queries uint64
+	Shed    uint64
 }
 
 // NewServer starts a DNS server on node.
@@ -256,6 +293,8 @@ func NewServer(node *netsim.Node) *Server {
 	s := &Server{node: node, zone: make(map[string][]Record)}
 	s.sock = node.MustBindUDP(Port)
 	s.sock.Handler = s.onQuery
+	s.serviceFn = s.service
+	s.doneFn = s.chargeDone
 	return s
 }
 
@@ -282,6 +321,60 @@ func (s *Server) Set(name string, recs ...Record) {
 }
 
 func (s *Server) onQuery(dg netsim.Datagram) {
+	if s.PerQueryCost <= 0 {
+		s.answer(dg)
+		return
+	}
+	max := s.MaxPending
+	if max <= 0 {
+		max = DefaultMaxPending
+	}
+	if len(s.pending) >= max {
+		s.Shed++
+		if m, err := parseMessage(dg.Payload); err == nil && !m.response {
+			s.sock.SendTo(dg.Src, encodeRetryAfter(m.txid, m.name, m.qtype))
+		}
+		return
+	}
+	s.pending = append(s.pending, dg)
+	s.kick()
+}
+
+// kick schedules a service pass, coalescing wake requests (the hipsim
+// run-to-completion pattern).
+func (s *Server) kick() {
+	if s.kicked || s.charging {
+		return
+	}
+	s.kicked = true
+	sim := s.node.Net().Sim()
+	sim.At(sim.Now(), s.serviceFn)
+}
+
+// service starts the CPU charge for the query at the head of the queue.
+func (s *Server) service() {
+	s.kicked = false
+	if s.charging || len(s.pending) == 0 {
+		return
+	}
+	s.charging = true
+	s.node.CPU().UseAsync(s.PerQueryCost, s.doneFn)
+}
+
+// chargeDone answers the charged query and moves to the next.
+func (s *Server) chargeDone() {
+	s.charging = false
+	if len(s.pending) > 0 {
+		dg := s.pending[0]
+		s.pending = s.pending[1:]
+		s.answer(dg)
+	}
+	if len(s.pending) > 0 {
+		s.kick()
+	}
+}
+
+func (s *Server) answer(dg netsim.Datagram) {
 	m, err := parseMessage(dg.Payload)
 	if err != nil || m.response {
 		return
@@ -296,7 +389,16 @@ func (s *Server) onQuery(dg netsim.Datagram) {
 	s.sock.SendTo(dg.Src, encodeResponse(m.txid, m.name, m.qtype, out))
 }
 
+// DefaultStaleFor is how long past TTL expiry a cached answer remains
+// eligible for serve-stale when fresh resolution fails (RFC 8767-style).
+const DefaultStaleFor = 30 * time.Second
+
 // Resolver queries a server with retries and a TTL-honouring cache.
+// Under overload it degrades instead of oscillating: expired cache
+// entries are served stale when the server is unreachable or shedding,
+// retransmissions are paced by jittered exponential backoff, and a
+// token-bucket retry budget bounds how much retry traffic one client
+// adds to a herd.
 type Resolver struct {
 	node   *netsim.Node
 	server netip.AddrPort
@@ -304,8 +406,26 @@ type Resolver struct {
 	txid   uint16
 	cache  map[cacheKey]cacheEntry
 	wait   map[uint16]*pendingQuery
-	// Lookups/CacheHits count resolver activity.
+
+	// StaleFor bounds how long past expiry an entry may be served stale
+	// (0 = DefaultStaleFor, negative = serve-stale disabled).
+	StaleFor time.Duration
+	// RetryBudget enables the retry token bucket: at most RetryBudget
+	// tokens, refilled at RetryPerSec (default 1/s), one consumed per
+	// retransmitted query. Zero = unlimited retries (the old behavior).
+	RetryBudget  float64
+	RetryPerSec  float64
+	tokens       float64
+	lastRefill   netsim.VTime
+	tokensPrimed bool
+
+	// Lookups/CacheHits count resolver activity; Retries counts
+	// retransmitted queries, ServedStale answers served past TTL, and
+	// BudgetDenied retries suppressed by an empty token bucket.
 	Lookups, CacheHits uint64
+	Retries            uint64
+	ServedStale        uint64
+	BudgetDenied       uint64
 }
 
 type cacheKey struct {
@@ -347,19 +467,83 @@ func NewResolver(node *netsim.Node, server netip.Addr) *Resolver {
 	return r
 }
 
+// staleFor returns the serve-stale window (≤0 disables).
+func (r *Resolver) staleFor() time.Duration {
+	if r.StaleFor == 0 {
+		return DefaultStaleFor
+	}
+	return r.StaleFor
+}
+
+// takeToken refills and consumes from the retry bucket; true admits the
+// retry. With RetryBudget == 0 retries are unlimited.
+func (r *Resolver) takeToken(now netsim.VTime) bool {
+	if r.RetryBudget <= 0 {
+		return true
+	}
+	rate := r.RetryPerSec
+	if rate <= 0 {
+		rate = 1
+	}
+	if !r.tokensPrimed {
+		r.tokens = r.RetryBudget
+		r.tokensPrimed = true
+	} else if dt := now - r.lastRefill; dt > 0 {
+		r.tokens += rate * float64(dt) / float64(time.Second)
+		if r.tokens > r.RetryBudget {
+			r.tokens = r.RetryBudget
+		}
+	}
+	r.lastRefill = now
+	if r.tokens < 1 {
+		r.BudgetDenied++
+		return false
+	}
+	r.tokens--
+	return true
+}
+
+// Invalidate drops the cached records for (name, t) — the hook a caller
+// uses after a cached locator proves dead (connection refused/timed out)
+// to force fresh resolution on the next lookup.
+func (r *Resolver) Invalidate(name string, t RRType) {
+	delete(r.cache, cacheKey{name, t})
+}
+
 // Lookup resolves (name, type), blocking p. Cached answers are served
-// until their TTL expires.
+// until their TTL expires; when resolution fails while a lapsed entry is
+// still within the serve-stale window, the stale answer is returned
+// rather than an error — re-contact degrades to possibly-outdated data
+// instead of joining the herd hammering the nameserver.
 func (r *Resolver) Lookup(p *netsim.Proc, name string, t RRType) ([]Record, error) {
 	r.Lookups++
 	key := cacheKey{name, t}
+	var stale []Record
 	if e, ok := r.cache[key]; ok {
-		if p.Now() < e.expires {
+		now := p.Now()
+		if now < e.expires {
 			r.CacheHits++
 			return e.recs, nil
 		}
-		delete(r.cache, key)
+		if sw := r.staleFor(); sw > 0 && now < e.expires+sw {
+			stale = e.recs
+		} else {
+			delete(r.cache, key)
+		}
 	}
+	rng := r.node.Net().Sim().Rand()
 	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			if !r.takeToken(p.Now()) {
+				break
+			}
+			r.Retries++
+			// Jittered backoff (±50% around 250ms·2^(attempt-1)) paces
+			// the retry so a synchronized resolver herd de-correlates;
+			// the shared sim RNG keeps it deterministic per seed.
+			base := 250 * time.Millisecond << uint(attempt-1)
+			p.Sleep(base/2 + time.Duration(float64(base)*rng.Float64()))
+		}
 		r.txid++
 		txid := r.txid
 		pq := &pendingQuery{wq: netsim.NewWaitQueue(r.node.Net().Sim())}
@@ -371,6 +555,11 @@ func (r *Resolver) Lookup(p *netsim.Proc, name string, t RRType) ([]Record, erro
 		}
 		delete(r.wait, txid)
 		if timedOut || !pq.done {
+			continue
+		}
+		if pq.msg.retryAfter {
+			// The server shed us: honor the backpressure and retry on
+			// our backoff schedule (or fall back to stale below).
 			continue
 		}
 		if pq.msg.nxdomain || len(pq.msg.answers) == 0 {
@@ -386,6 +575,10 @@ func (r *Resolver) Lookup(p *netsim.Proc, name string, t RRType) ([]Record, erro
 			r.cache[key] = cacheEntry{recs: pq.msg.answers, expires: p.Now() + minTTL}
 		}
 		return pq.msg.answers, nil
+	}
+	if stale != nil {
+		r.ServedStale++
+		return stale, nil
 	}
 	return nil, ErrTimeout
 }

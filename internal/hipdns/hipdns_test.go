@@ -133,6 +133,94 @@ func TestRetryOnLoss(t *testing.T) {
 	}
 }
 
+// TestServeStaleDuringOutage: with the nameserver dark, a lapsed cache
+// entry within the stale window is served instead of an error.
+func TestServeStaleDuringOutage(t *testing.T) {
+	s, srv, res := world(t)
+	srv.Set("vm.cloud", Record{Type: TypeA, TTL: time.Second, Addr: netip.MustParseAddr("10.10.0.7")})
+	var fresh, staleA netip.Addr
+	var staleErr error
+	s.Spawn("q", func(p *netsim.Proc) {
+		fresh, _ = res.LookupAddr(p, "vm.cloud")
+		p.Sleep(2 * time.Second) // TTL lapses
+		res.node.Down = true     // server unreachable (our side goes dark)
+		staleA, staleErr = res.LookupAddr(p, "vm.cloud")
+	})
+	s.Run(time.Minute)
+	s.Shutdown()
+	if fresh != netip.MustParseAddr("10.10.0.7") {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if staleErr != nil || staleA != fresh {
+		t.Fatalf("stale answer = %v, %v; want the lapsed record", staleA, staleErr)
+	}
+	if res.ServedStale != 1 {
+		t.Fatalf("ServedStale = %d", res.ServedStale)
+	}
+}
+
+// TestServerShedsWithRetryAfter: a loaded server bounds its inflight
+// queue and answers overflow with retry-after rather than silence.
+func TestServerShedsWithRetryAfter(t *testing.T) {
+	s, srv, res := world(t)
+	srv.PerQueryCost = 50 * time.Millisecond
+	srv.MaxPending = 2
+	srv.Set("x.cloud", Record{Type: TypeA, TTL: time.Minute, Addr: netip.MustParseAddr("10.0.0.9")})
+	// Blast raw queries to fill the pending queue, then measure a real
+	// lookup: it must still complete (after backoff) or serve stale.
+	ok := 0
+	s.Spawn("blast", func(p *netsim.Proc) {
+		for i := 0; i < 20; i++ {
+			res.sock.SendTo(res.server, encodeQuery(60000+uint16(i), "x.cloud", TypeA))
+		}
+	})
+	s.Spawn("q", func(p *netsim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		if _, err := res.LookupAddr(p, "x.cloud"); err == nil {
+			ok++
+		}
+	})
+	s.Run(time.Minute)
+	s.Shutdown()
+	if srv.Shed == 0 {
+		t.Fatal("server shed nothing under a 20-query blast with MaxPending=2")
+	}
+	if ok != 1 {
+		t.Fatal("lookup failed to complete against a shedding server")
+	}
+}
+
+// TestRetryBudgetBoundsRetries: an empty token bucket suppresses
+// retransmissions, so a client cannot amplify an outage.
+func TestRetryBudgetBoundsRetries(t *testing.T) {
+	s, _, res := world(t)
+	res.RetryBudget = 1
+	res.RetryPerSec = 0.001 // effectively no refill within the test
+	res.StaleFor = -1       // isolate the budget path
+	errs := 0
+	s.Spawn("q", func(p *netsim.Proc) {
+		res.node.Down = true // all queries black-holed
+		for i := 0; i < 5; i++ {
+			if _, err := res.LookupAddr(p, "x.cloud"); err != nil {
+				errs++
+			}
+		}
+	})
+	s.Run(2 * time.Minute)
+	s.Shutdown()
+	if errs != 5 {
+		t.Fatalf("errs = %d, want 5", errs)
+	}
+	// 5 lookups × 2 possible retries each = 10 without a budget; the
+	// 1-token bucket admits ~1.
+	if res.Retries > 2 {
+		t.Fatalf("Retries = %d despite a 1-token budget", res.Retries)
+	}
+	if res.BudgetDenied == 0 {
+		t.Fatal("budget denied nothing")
+	}
+}
+
 func TestDynamicUpdateReplacesType(t *testing.T) {
 	s, srv, res := world(t)
 	srv.Set("m.cloud",

@@ -129,7 +129,7 @@ type Fabric struct {
 
 	deliver func(peer netip.Addr, data []byte, cost time.Duration)
 
-	ctlQ   []ctlPkt
+	ctlQ   *hip.AdmissionQueue
 	debt   time.Duration
 	estabQ map[netip.Addr]*netsim.WaitQueue
 	estabE map[netip.Addr]error
@@ -156,10 +156,13 @@ type Fabric struct {
 	BEXTimeout time.Duration
 }
 
-type ctlPkt struct {
-	data []byte
-	src  netip.Addr
-}
+// DefaultCtlQueueMax bounds the per-fabric pending control-packet queue.
+// While the daemon is busy (an async CPU charge in flight) arriving
+// BEX/UPDATE packets accumulate here; past the bound the oldest are shed
+// (hip.AdmissionQueue) rather than letting a re-contact herd grow the
+// backlog — and the queue's depth feeds the responder's puzzle
+// difficulty so shedding and hardening engage together.
+const DefaultCtlQueueMax = 512
 
 type echoWait struct {
 	wq   *netsim.WaitQueue
@@ -183,6 +186,7 @@ func NewWithUnderlay(node *netsim.Node, host *hip.Host, reg *Registry, ul Underl
 		host:       host,
 		reg:        reg,
 		ul:         ul,
+		ctlQ:       hip.NewAdmissionQueue(DefaultCtlQueueMax),
 		estabQ:     make(map[netip.Addr]*netsim.WaitQueue),
 		estabE:     make(map[netip.Addr]error),
 		echoes:     make(map[uint64]*echoWait),
@@ -193,6 +197,11 @@ func NewWithUnderlay(node *netsim.Node, host *hip.Host, reg *Registry, ul Underl
 	f.chargeDoneFn = f.chargeDone
 	sim := node.Net().Sim()
 	f.timer = sim.NewTimer(f.service)
+	// Backoff jitter draws from the simulation's shared RNG: determinism
+	// comes from deterministic event order, while sharing one source
+	// de-correlates synchronized peers (each per-host RNG defaults to the
+	// same seed, so per-host draws would stay in lockstep).
+	host.SetJitter(sim.Rand().Float64)
 	reg.Register(host.HIT(), ul.LocalAddr())
 	ul.Tap(netsim.ProtoHIP, f.onControl)
 	ul.Tap(netsim.ProtoESP, f.onData)
@@ -218,14 +227,19 @@ func (f *Fabric) kick() {
 // Host returns the underlying HIP host.
 func (f *Fabric) Host() *hip.Host { return f.host }
 
-// onControl queues a HIP control packet for the next service pass.
+// onControl queues a HIP control packet for the next service pass,
+// shedding the oldest pending packet when admission control is full.
 func (f *Fabric) onControl(src netip.Addr, payload []byte) {
 	if f.closed {
 		return
 	}
-	f.ctlQ = append(f.ctlQ, ctlPkt{data: payload, src: src})
+	f.ctlQ.Push(hip.Pending{Data: payload, Src: src})
 	f.kick()
 }
+
+// CtlShed reports how many inbound control packets admission control has
+// dropped (the responder's shed counter for storm experiments).
+func (f *Fabric) CtlShed() uint64 { return f.ctlQ.Shed }
 
 // onData decrypts an inbound ESP packet and routes the inner payload
 // (scheduler context; decode cost is handed to the consumer as debt).
@@ -318,21 +332,26 @@ func (f *Fabric) service() {
 		return
 	}
 	now := f.simOf().Now()
-	// Indexed loop: processing a packet can emit replies that loop back
-	// to this node and append to ctlQ mid-iteration.
-	for i := 0; i < len(f.ctlQ); i++ {
-		item := f.ctlQ[i]
-		f.host.OnPacket(item.data, item.src, now)
+	// Pop-until-empty: processing a packet can emit replies that loop
+	// back to this node and enqueue mid-drain. The remaining depth is
+	// reported to the host before each packet so puzzle difficulty for
+	// an I1 reflects the backlog queued behind it.
+	for {
+		item, ok := f.ctlQ.Pop()
+		if !ok {
+			break
+		}
+		f.host.SetBacklog(f.ctlQ.Len())
+		f.host.OnPacket(item.Data, item.Src, now)
 		f.debt += f.host.TakeCost()
 	}
-	f.ctlQ = f.ctlQ[:0]
 	if next := f.host.NextDeadline(); next != 0 && next <= now {
 		f.host.OnTimer(now)
 		f.debt += f.host.TakeCost()
 	}
 	f.host.Maintain(now)
 	f.flushOut()
-	if f.debt > 0 || len(f.ctlQ) > 0 {
+	if f.debt > 0 || f.ctlQ.Len() > 0 {
 		f.kick()
 	}
 	f.rearmTimer()
@@ -398,28 +417,37 @@ func (f *Fabric) Establish(p *netsim.Proc, peer netip.Addr) error {
 	if err != nil {
 		return err
 	}
-	if a, ok := f.host.Association(hit); ok && a.State() == hip.Established {
+	return f.EstablishAt(p, hit, locator)
+}
+
+// EstablishAt runs the base exchange with peerHIT sending the I1 to an
+// explicit locator — typically the peer's rendezvous server, which relays
+// the I1 while R1 onward travel direct (RFC 5204). It bypasses registry
+// resolution, so re-contact after a migration exercises the real
+// rendezvous/DNS path instead of the registry's instant oracle.
+func (f *Fabric) EstablishAt(p *netsim.Proc, peerHIT, locator netip.Addr) error {
+	if a, ok := f.host.Association(peerHIT); ok && a.State() == hip.Established {
 		return nil
 	}
-	delete(f.estabE, hit)
-	if err := f.host.Connect(hit, locator, p.Now()); err != nil {
+	delete(f.estabE, peerHIT)
+	if err := f.host.ConnectVia(peerHIT, locator, p.Now()); err != nil {
 		return err
 	}
 	if c := f.host.TakeCost(); c > 0 {
 		f.node.CPU().Use(p, c)
 	}
 	f.flushNow()
-	q := f.estabQ[hit]
+	q := f.estabQ[peerHIT]
 	if q == nil {
 		q = netsim.NewWaitQueue(f.node.Net().Sim())
-		f.estabQ[hit] = q
+		f.estabQ[peerHIT] = q
 	}
 	deadline := p.Now() + f.BEXTimeout
 	for {
-		if a, ok := f.host.Association(hit); ok && a.State() == hip.Established {
+		if a, ok := f.host.Association(peerHIT); ok && a.State() == hip.Established {
 			return nil
 		}
-		if err, done := f.estabE[hit]; done && err != nil {
+		if err, done := f.estabE[peerHIT]; done && err != nil {
 			return err
 		}
 		remain := deadline - p.Now()

@@ -248,6 +248,22 @@ func (nd *Node) Addr() netip.Addr {
 	return nd.ifaces[0].addr
 }
 
+// PromoteAddr makes the interface owning a the node's primary — the
+// address Addr() reports and the source new sockets bind to. Live
+// migration promotes the fresh attachment so replies and control traffic
+// stop sourcing from the abandoned locator. Reports whether a was found.
+func (nd *Node) PromoteAddr(a netip.Addr) bool {
+	for idx, i := range nd.ifaces {
+		if i.addr != a {
+			continue
+		}
+		copy(nd.ifaces[1:idx+1], nd.ifaces[:idx])
+		nd.ifaces[0] = i
+		return true
+	}
+	return false
+}
+
 // Connect links a and b with the given characteristics, assigning addrA and
 // addrB to the new interfaces. It returns the link.
 func (n *Network) Connect(a *Node, addrA netip.Addr, b *Node, addrB netip.Addr, l Link) *Link {

@@ -74,6 +74,14 @@ func (nd *Node) MustBindUDP(port uint16) *UDPSocket {
 // LocalAddr returns the bound address.
 func (s *UDPSocket) LocalAddr() netip.AddrPort { return s.local }
 
+// Rehome re-binds the socket's source address to the node's current
+// primary address, keeping the port. Sockets capture their source at bind
+// time, so a live-migrated VM calls this (after PromoteAddr) to stop
+// sourcing datagrams from its abandoned locator.
+func (s *UDPSocket) Rehome() {
+	s.local = netip.AddrPortFrom(s.node.Addr(), s.local.Port())
+}
+
 // Node returns the owning node.
 func (s *UDPSocket) Node() *Node { return s.node }
 

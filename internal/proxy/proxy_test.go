@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"bufio"
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -320,6 +321,162 @@ func TestBackendCrashFailsOverIdempotentGET(t *testing.T) {
 	}
 	if lb.Errors != 0 {
 		t.Fatalf("proxy surfaced %d errors to clients", lb.Errors)
+	}
+}
+
+// TestAllBackendsEvacuatedThenReturn is the storm-shaped outage: every
+// backend vanishes at once (a host evacuation) and later returns. The
+// proxy must (a) never double-send a non-idempotent request — not even
+// across the crash boundary where it holds warm pooled connections — and
+// (b) recover within one health interval of the backends returning.
+func TestAllBackendsEvacuatedThenReturn(t *testing.T) {
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	lbn := n.AddNode("lb", 4, 4)
+	web1n := n.AddNode("web1", 2, 1)
+	web2n := n.AddNode("web2", 2, 1)
+	clin := n.AddNode("client", 2, 1)
+	r := n.AddRouter("r")
+	n.Connect(lbn, netip.MustParseAddr("10.0.0.1"), r, netip.MustParseAddr("10.0.0.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(web1n, netip.MustParseAddr("10.0.1.1"), r, netip.MustParseAddr("10.0.1.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(web2n, netip.MustParseAddr("10.0.2.1"), r, netip.MustParseAddr("10.0.2.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(clin, netip.MustParseAddr("10.0.3.1"), r, netip.MustParseAddr("10.0.3.254"), netsim.Link{Latency: time.Millisecond})
+	lbn.AddDefaultRoute(netip.MustParseAddr("10.0.0.254"))
+	web1n.AddDefaultRoute(netip.MustParseAddr("10.0.1.254"))
+	web2n.AddDefaultRoute(netip.MustParseAddr("10.0.2.254"))
+	clin.AddDefaultRoute(netip.MustParseAddr("10.0.3.254"))
+
+	mkPlain := func(nd *netsim.Node) *secio.Transport {
+		return &secio.Transport{Kind: secio.Basic, Stack: simtcp.NewStack(nd, simtcp.NewPlainFabric(nd))}
+	}
+	// Counting backends: every served request records its path, so a
+	// double-sent POST shows up as a count of 2.
+	served := map[string]int{}
+	startWeb := func(name string, nd *netsim.Node) {
+		wt := mkPlain(nd)
+		s.Spawn(name, func(p *netsim.Proc) {
+			l := wt.MustListen(rubis.WebPort)
+			for {
+				raw, err := l.AcceptRaw(p, 0)
+				if err != nil {
+					return
+				}
+				conn := raw
+				p.Spawn(name+"/c", func(hp *netsim.Proc) {
+					c, err := wt.ServerConn(hp, conn)
+					if err != nil {
+						return
+					}
+					defer c.Close()
+					br := bufio.NewReader(c)
+					for {
+						req, err := microhttp.ReadRequest(br)
+						if err != nil {
+							return
+						}
+						served[req.Path]++
+						if err := microhttp.WriteResponse(c, &microhttp.Response{Status: 200, Body: []byte("ok")}); err != nil {
+							return
+						}
+					}
+				})
+			}
+		})
+	}
+	startWeb("web1", web1n)
+	startWeb("web2", web2n)
+
+	const healthInterval = time.Second
+	front := mkPlain(lbn)
+	back := &secio.Transport{Kind: secio.Basic, Stack: front.Stack, DialTimeout: 300 * time.Millisecond}
+	lb := &Proxy{Name: "lb", Front: front, Back: back, HealthInterval: healthInterval}
+	web1B := lb.AddBackend("web1", netip.MustParseAddr("10.0.1.1"), rubis.WebPort)
+	web2B := lb.AddBackend("web2", netip.MustParseAddr("10.0.2.1"), rubis.WebPort)
+	s.Spawn("lb", lb.Run)
+
+	var preOutage []int
+	var outagePost int
+	var recoverDelay time.Duration = -1
+	var downObserved bool
+	cliT := mkPlain(clin)
+	s.Spawn("client", func(p *netsim.Proc) {
+		c, err := cliT.Dial(p, netip.MustParseAddr("10.0.0.1"), FrontPort)
+		if err != nil {
+			t.Errorf("client dial: %v", err)
+			return
+		}
+		defer c.Close()
+		br := bufio.NewReader(c)
+		// Phase 1: warm both backends with alternating GET/POST.
+		for i := 0; i < 4; i++ {
+			m, path := "GET", fmt.Sprintf("/g%d", i)
+			if i%2 == 1 {
+				m, path = "POST", fmt.Sprintf("/p%d", i)
+			}
+			resp, err := microhttp.RoundTrip(c, br, &microhttp.Request{Method: m, Path: path})
+			if err != nil {
+				t.Errorf("warm request %d: %v", i, err)
+				return
+			}
+			preOutage = append(preOutage, resp.Status)
+		}
+		// The storm: both backends evacuated at once, warm pooled
+		// connections and all.
+		web1n.Down = true
+		web2n.Down = true
+		// A POST into the total outage: it may die on either backend but
+		// must not be replayed onto the other.
+		if resp, err := microhttp.RoundTrip(c, br, &microhttp.Request{Method: "POST", Path: "/p-outage"}); err == nil {
+			outagePost = resp.Status
+		}
+		// Let the health loop observe the outage.
+		p.Sleep(2 * healthInterval)
+		downObserved = !web1B.Healthy() && !web2B.Healthy()
+		// The backends return.
+		web1n.Down = false
+		web2n.Down = false
+		restored := p.Now()
+		for i := 0; ; i++ {
+			resp, err := microhttp.RoundTrip(c, br, &microhttp.Request{Method: "GET", Path: fmt.Sprintf("/r%d", i)})
+			if err == nil && resp.Status == 200 {
+				recoverDelay = p.Now() - restored
+				return
+			}
+			if p.Now()-restored > 10*healthInterval {
+				return
+			}
+			p.Sleep(100 * time.Millisecond)
+		}
+	})
+	s.Run(10 * time.Minute)
+	s.Shutdown()
+
+	for i, st := range preOutage {
+		if st != 200 {
+			t.Fatalf("pre-outage request %d got %d", i, st)
+		}
+	}
+	if outagePost == 200 {
+		t.Fatal("POST during total outage reported success")
+	}
+	if !downObserved {
+		t.Fatal("health loop never marked the evacuated backends down")
+	}
+	if recoverDelay < 0 {
+		t.Fatal("proxy never recovered after backends returned")
+	}
+	if recoverDelay > healthInterval {
+		t.Fatalf("recovery took %v, want within one health interval (%v)", recoverDelay, healthInterval)
+	}
+	// The no-double-send invariant: every POST path reached a backend at
+	// most once, including the one fired into the outage.
+	for path, count := range served {
+		if len(path) > 1 && path[1] == 'p' && count > 1 {
+			t.Fatalf("non-idempotent %s served %d times", path, count)
+		}
+	}
+	if web1B.Served+web2B.Served == 0 {
+		t.Fatal("no backend served anything")
 	}
 }
 

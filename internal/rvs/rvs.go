@@ -3,27 +3,60 @@
 // I1 packets to the stable rendezvous address, which relays them with a
 // FROM parameter so the responder can answer the initiator directly. The
 // rest of the base exchange bypasses the rendezvous point.
+//
+// Registrations carry a lifetime (RFC 8003's REG_INFO abstracted to
+// Server.TTL): live hosts refresh by re-registering, and a crashed host's
+// stale entry lapses after TTL so the server stops relaying I1s into a
+// black hole. MaxRelayRate bounds the relay work a re-contact herd can
+// extract; excess I1s are shed and initiators retry on their (jittered)
+// backoff schedule.
 package rvs
 
 import (
+	"math"
 	"net/netip"
+	"time"
 
 	"hipcloud/internal/hipwire"
 	"hipcloud/internal/netsim"
 )
 
+// registration is one HIT binding: current locator plus expiry.
+type registration struct {
+	locator netip.Addr
+	expires time.Duration // zero = never expires
+}
+
 // Server is a rendezvous middlebox on a public simulated node.
 type Server struct {
 	node *netsim.Node
-	// registrations: HIT -> current locator.
-	regs map[netip.Addr]netip.Addr
-	// Relayed counts forwarded I1s; Dropped counts unservable ones.
+	// registrations: HIT -> current binding.
+	regs map[netip.Addr]registration
+
+	// TTL bounds a registration's lifetime; re-registering refreshes it.
+	// Zero means registrations never expire (the pre-RFC 8003 behavior,
+	// kept for existing fixed-topology tests).
+	TTL time.Duration
+	// MaxRelayRate bounds relayed I1s per second, estimated with an
+	// exponentially decayed counter (1s time constant, matching the HIP
+	// responder's I1 load signal). Zero = unlimited.
+	MaxRelayRate float64
+	relayLoad    float64
+	lastRelay    time.Duration
+
+	// Relayed counts forwarded I1s; Dropped counts unservable ones
+	// (which includes the Expired and Shed subsets).
 	Relayed, Dropped uint64
+	// Expired counts I1s refused because the target's registration TTL
+	// had lapsed (the host stopped refreshing — crashed or partitioned).
+	Expired uint64
+	// Shed counts I1s refused by the relay rate limiter.
+	Shed uint64
 }
 
 // New starts a rendezvous server on node.
 func New(node *netsim.Node) *Server {
-	s := &Server{node: node, regs: make(map[netip.Addr]netip.Addr)}
+	s := &Server{node: node, regs: make(map[netip.Addr]registration)}
 	node.TapRaw(netsim.ProtoHIP, s.onPacket)
 	return s
 }
@@ -31,15 +64,63 @@ func New(node *netsim.Node) *Server {
 // Addr returns the rendezvous address initiators should target.
 func (s *Server) Addr() netip.Addr { return s.node.Addr() }
 
-// Register binds a HIT to its current locator (RFC 8003 registration is
-// abstracted to this call; re-registration follows mobility).
-func (s *Server) Register(hit, locator netip.Addr) { s.regs[hit] = locator }
+func (s *Server) now() time.Duration { return s.node.Net().Sim().Now() }
+
+// Register binds a HIT to its current locator and starts (or refreshes)
+// its TTL. Re-registration follows mobility and doubles as keepalive.
+func (s *Server) Register(hit, locator netip.Addr) {
+	var exp time.Duration
+	if s.TTL > 0 {
+		exp = s.now() + s.TTL
+	}
+	s.regs[hit] = registration{locator: locator, expires: exp}
+}
 
 // Unregister removes a HIT.
 func (s *Server) Unregister(hit netip.Addr) { delete(s.regs, hit) }
 
-// Registrations reports the number of registered HITs.
-func (s *Server) Registrations() int { return len(s.regs) }
+// UnregisterLocator removes every HIT currently bound to locator and
+// reports how many were dropped — the hook a cloud controller (or
+// faults.Injector.OnNodeDown) fires when it knows a host died, rather
+// than waiting out the TTL.
+func (s *Server) UnregisterLocator(locator netip.Addr) int {
+	n := 0
+	for hit, reg := range s.regs {
+		if reg.locator == locator {
+			delete(s.regs, hit)
+			n++
+		}
+	}
+	return n
+}
+
+// Registrations reports the number of live (unexpired) registrations.
+func (s *Server) Registrations() int {
+	now := s.now()
+	n := 0
+	for _, reg := range s.regs {
+		if reg.expires == 0 || now < reg.expires {
+			n++
+		}
+	}
+	return n
+}
+
+// noteRelay updates the decayed relay counter and reports whether the
+// rate limiter admits one more relay now.
+func (s *Server) noteRelay(now time.Duration) bool {
+	if s.lastRelay != 0 {
+		if dt := now - s.lastRelay; dt > 0 {
+			s.relayLoad *= math.Exp(-float64(dt) / float64(time.Second))
+		}
+	}
+	s.lastRelay = now
+	if s.MaxRelayRate > 0 && s.relayLoad >= s.MaxRelayRate {
+		return false
+	}
+	s.relayLoad++
+	return true
+}
 
 func (s *Server) onPacket(pkt *netsim.Packet) {
 	msg, err := hipwire.Parse(pkt.Payload)
@@ -47,8 +128,23 @@ func (s *Server) onPacket(pkt *netsim.Packet) {
 		s.Dropped++
 		return
 	}
-	locator, ok := s.regs[msg.ReceiverHIT]
+	reg, ok := s.regs[msg.ReceiverHIT]
 	if !ok {
+		s.Dropped++
+		return
+	}
+	now := s.now()
+	if reg.expires != 0 && now >= reg.expires {
+		// Lazy expiry: the host stopped refreshing. Drop the binding so
+		// lookups stop relaying into a black hole and the initiator's
+		// backoff (not our relays) paces its retries.
+		delete(s.regs, msg.ReceiverHIT)
+		s.Expired++
+		s.Dropped++
+		return
+	}
+	if !s.noteRelay(now) {
+		s.Shed++
 		s.Dropped++
 		return
 	}
@@ -65,6 +161,6 @@ func (s *Server) onPacket(pkt *netsim.Packet) {
 	s.Relayed++
 	s.node.SendRaw(netsim.ProtoHIP,
 		netip.AddrPortFrom(s.node.Addr(), 0),
-		netip.AddrPortFrom(locator, 0),
+		netip.AddrPortFrom(reg.locator, 0),
 		relayed.Marshal(), 0)
 }

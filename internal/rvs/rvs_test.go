@@ -5,8 +5,10 @@ import (
 	"testing"
 	"time"
 
+	"hipcloud/internal/faults"
 	"hipcloud/internal/hip"
 	"hipcloud/internal/hipsim"
+	"hipcloud/internal/hipwire"
 	"hipcloud/internal/identity"
 	"hipcloud/internal/netsim"
 	"hipcloud/internal/simtcp"
@@ -107,6 +109,114 @@ func TestUnregisteredHITDropped(t *testing.T) {
 	}
 	if srv.Dropped == 0 {
 		t.Fatal("rvs did not account the drop")
+	}
+}
+
+// stormWorld is world() keeping the raw node handles, for fault tests.
+func stormWorld(t *testing.T) (*netsim.Sim, *Server, *hipsim.Fabric, *netsim.Node, *netsim.Node) {
+	t.Helper()
+	s := netsim.New(1)
+	n := netsim.NewNetwork(s)
+	r := n.AddRouter("core")
+	a := n.AddNode("a", 2, 1)
+	b := n.AddNode("b", 2, 1)
+	rv := n.AddNode("rvs", 4, 4)
+	must := netip.MustParseAddr
+	n.Connect(a, must("10.0.1.1"), r, must("10.0.1.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(b, must("10.0.2.1"), r, must("10.0.2.254"), netsim.Link{Latency: time.Millisecond})
+	n.Connect(rv, must("10.0.3.1"), r, must("10.0.3.254"), netsim.Link{Latency: time.Millisecond})
+	a.AddDefaultRoute(must("10.0.1.254"))
+	b.AddDefaultRoute(must("10.0.2.254"))
+	rv.AddDefaultRoute(must("10.0.3.254"))
+	srv := New(rv)
+	ha, _ := hip.NewHost(hip.Config{Identity: idA, Locator: a.Addr()})
+	fa := hipsim.New(a, ha, hipsim.NewRegistry())
+	return s, srv, fa, a, b
+}
+
+// TestStaleRegistrationStopsRelayAfterTTL: a crashed responder stops
+// refreshing its registration; once the TTL lapses the rendezvous stops
+// relaying I1s into the black hole (lazy expiry), so a re-contact herd's
+// retries die at the RVS instead of consuming the dead host's path.
+func TestStaleRegistrationStopsRelayAfterTTL(t *testing.T) {
+	s, srv, fa, _, b := stormWorld(t)
+	srv.TTL = 2 * time.Second
+	srv.Register(idB.HIT(), b.Addr()) // registered at t=0, expires t=2s
+	inj := faults.New(s)
+	inj.DownNode(b, 500*time.Millisecond, 0) // crash; never refreshes again
+
+	var relayedAtExpiry uint64
+	s.At(2100*time.Millisecond, func() { relayedAtExpiry = srv.Relayed })
+	s.Spawn("client", func(p *netsim.Proc) {
+		p.Sleep(time.Second)
+		// The I1 (and its retransmits) target the RVS; the responder is
+		// dead, so the BEX can only fail — what matters is where the
+		// retries are refused.
+		fa.EstablishAt(p, idB.HIT(), srv.Addr())
+	})
+	s.Run(15 * time.Second)
+	s.Shutdown()
+
+	if relayedAtExpiry == 0 {
+		t.Fatal("no I1 relayed before the TTL lapsed")
+	}
+	if srv.Relayed != relayedAtExpiry {
+		t.Fatalf("relays continued after TTL: %d then %d", relayedAtExpiry, srv.Relayed)
+	}
+	if srv.Expired == 0 {
+		t.Fatal("no I1 accounted as expired after TTL")
+	}
+	if srv.Registrations() != 0 {
+		t.Fatalf("stale registration still live: %d", srv.Registrations())
+	}
+}
+
+// TestOnNodeDownUnregistersImmediately: the faults hook lets a controller
+// that knows a host died clear its binding without waiting out the TTL.
+func TestOnNodeDownUnregistersImmediately(t *testing.T) {
+	s, srv, _, _, b := stormWorld(t)
+	srv.TTL = time.Hour
+	srv.Register(idB.HIT(), b.Addr())
+	inj := faults.New(s)
+	inj.OnNodeDown(func(n *netsim.Node) { srv.UnregisterLocator(n.Addr()) })
+	inj.DownNode(b, 500*time.Millisecond, 0)
+	s.Run(time.Second)
+	s.Shutdown()
+	if srv.Registrations() != 0 {
+		t.Fatalf("crashed host still registered: %d", srv.Registrations())
+	}
+}
+
+// TestRelayRateLimiterSheds: an I1 blast past MaxRelayRate is shed, not
+// amplified into relays.
+func TestRelayRateLimiterSheds(t *testing.T) {
+	s, srv, _, a, b := stormWorld(t)
+	srv.MaxRelayRate = 5
+	srv.Register(idB.HIT(), b.Addr())
+	i1 := (&hipwire.Packet{
+		Type:        hipwire.I1,
+		SenderHIT:   idA.HIT(),
+		ReceiverHIT: idB.HIT(),
+	}).Marshal()
+	s.Spawn("blast", func(p *netsim.Proc) {
+		for i := 0; i < 20; i++ {
+			a.SendRaw(netsim.ProtoHIP,
+				netip.AddrPortFrom(a.Addr(), 0),
+				netip.AddrPortFrom(srv.Addr(), 0),
+				append([]byte(nil), i1...), 0)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	s.Run(time.Second)
+	s.Shutdown()
+	if srv.Shed == 0 {
+		t.Fatal("rate limiter shed nothing under a 20-I1 blast")
+	}
+	if srv.Relayed > 6 {
+		t.Fatalf("relayed %d I1s, want ≤ rate bound", srv.Relayed)
+	}
+	if srv.Relayed+srv.Shed != 20 {
+		t.Fatalf("relayed %d + shed %d != 20", srv.Relayed, srv.Shed)
 	}
 }
 

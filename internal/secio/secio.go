@@ -61,6 +61,11 @@ type Transport struct {
 	TLSSessions *tlslite.ServerSessions
 	// TLSServerName keys the client session cache (SSL only).
 	TLSServerName string
+	// Rand supplies handshake randomness (SSL only; nil = crypto/rand).
+	// Simulation drivers must pass the sim's seeded RNG: ECDSA signatures
+	// over the hello randoms vary in DER length with their content, so
+	// real entropy leaks into virtual transmission timing otherwise.
+	Rand io.Reader
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
 }
@@ -107,6 +112,7 @@ func (t *Transport) Dial(p *netsim.Proc, peer netip.Addr, port uint16) (Conn, er
 		Charge:     t.charger(bound),
 		Cache:      t.TLSCache,
 		ServerName: t.TLSServerName,
+		Rand:       t.Rand,
 	})
 	if err != nil {
 		c.Abort()
@@ -172,6 +178,7 @@ func (t *Transport) ServerConn(p *netsim.Proc, c *simtcp.Conn) (Conn, error) {
 		Costs:    t.Costs,
 		Charge:   t.charger(bound),
 		Sessions: t.TLSSessions,
+		Rand:     t.Rand,
 	})
 	if err != nil {
 		c.Abort()

@@ -650,6 +650,11 @@ func NewPlainFabric(node *netsim.Node) *PlainFabric {
 	return f
 }
 
+// Rehome follows the node to a new primary address (VM migration): new
+// segments source from the current locator. Connections keyed to the old
+// address are dead anyway — their path left with the old attachment.
+func (f *PlainFabric) Rehome() { f.sock.Rehome() }
+
 // Canonical is the identity for plain transport.
 func (f *PlainFabric) Canonical(peer netip.Addr) (netip.Addr, error) { return peer, nil }
 

@@ -96,6 +96,30 @@ func (c *Config) rand() io.Reader {
 	return rand.Reader
 }
 
+// ecdheKey generates the ephemeral key. With the default (crypto/rand)
+// source it uses the stdlib generator; with an explicit deterministic
+// Rand it rejection-samples the scalar itself, because since Go 1.20
+// ecdh.GenerateKey deliberately consumes a runtime-random number of
+// bytes from non-default readers (randutil.MaybeReadByte), which would
+// advance a simulation's seeded RNG by a nondeterministic offset and
+// change every later draw.
+func (c *Config) ecdheKey() (*ecdh.PrivateKey, error) {
+	if c.Rand == nil {
+		return ecdh.P256().GenerateKey(rand.Reader)
+	}
+	var b [32]byte
+	for {
+		if _, err := io.ReadFull(c.Rand, b[:]); err != nil {
+			return nil, err
+		}
+		k, err := ecdh.P256().NewPrivateKey(b[:])
+		if err == nil {
+			return k, nil
+		}
+		// Out-of-range scalar (probability ~2^-32): redraw.
+	}
+}
+
 func (c *Config) charge(d time.Duration) {
 	if c.Charge != nil && d > 0 {
 		c.Charge(d)
@@ -305,7 +329,7 @@ func clientFull(s Stream, cfg Config, clientRand, hello, shRec, body []byte) (*C
 		return nil, ErrHandshake
 	}
 	// Client ECDHE.
-	priv, err := ecdh.P256().GenerateKey(cfg.rand())
+	priv, err := cfg.ecdheKey()
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +401,7 @@ func Server(s Stream, cfg Config) (*Conn, error) {
 			return serverResume(s, cfg, chRec, clientRand, serverRand, secret)
 		}
 	}
-	priv, err := ecdh.P256().GenerateKey(cfg.rand())
+	priv, err := cfg.ecdheKey()
 	if err != nil {
 		return nil, err
 	}
