@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check lint vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke bench bench-full
+.PHONY: all check lint lint-fix-scan vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke bench bench-full
 
 all: check
 
@@ -14,11 +14,18 @@ check: lint vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke
 
 # hiplint (cmd/hiplint + internal/analysis) machine-checks the DESIGN.md
 # §5a contracts: buffer ownership (bufown), append-API aliasing
-# (appendalias), simulator determinism (simdet), constant-time compares
-# (ctcompare) and lock discipline (lockedsend). Findings are waived only
-# with //lint:allow <check> <reason>.
+# (appendalias), simulator determinism (simdet, schedblock), constant-time
+# compares (ctcompare), lock discipline (lockedsend, lockorder) and secret
+# hygiene (secflow). The whole module loads into one program so the
+# interprocedural checks see cross-package call chains. Findings are
+# waived only with //lint:allow <check> <reason>.
 lint:
 	$(GO) run ./cmd/hiplint ./...
+
+# Reporting mode: per-analyzer finding counts as JSON (always exit 0),
+# for tracking the finding trajectory across PRs.
+lint-fix-scan:
+	$(GO) run ./cmd/hiplint -counts ./...
 
 vet:
 	$(GO) vet ./...

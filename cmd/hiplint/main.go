@@ -4,18 +4,28 @@
 //
 // Usage:
 //
-//	hiplint [-checks bufown,appendalias,...] [-list] [patterns...]
+//	hiplint [-checks bufown,secflow,...] [-list] [-waivers] [-counts] [patterns...]
 //
 // Patterns default to ./... and accept directories or module import
-// paths, recursively with /... . Findings print as
+// paths, recursively with /... . All matched packages are loaded into one
+// program, so the interprocedural analyzers (secflow, lockorder, and the
+// summary-aware bufown/simdet/schedblock) see cross-package call chains.
+// Findings print as
 //
 //	file:line:col: [check] message
 //
 // and can be waived at the source line with //lint:allow <check> <reason>
-// (the reason is mandatory; a bare waiver is itself a finding).
+// (the reason is mandatory; a bare waiver, an unknown check name, or a
+// waiver that suppresses nothing is itself a finding).
+//
+// -waivers lists every active //lint:allow with file:line and reason
+// instead of running the checks; -counts runs the checks and prints
+// per-analyzer finding counts as JSON (exit 0 regardless), for tracking
+// the finding trajectory across PRs via `make lint-fix-scan`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +37,8 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	waivers := flag.Bool("waivers", false, "report every active //lint:allow waiver and exit")
+	counts := flag.Bool("counts", false, "print per-analyzer finding counts as JSON (always exit 0)")
 	flag.Parse()
 
 	if *list {
@@ -62,12 +74,45 @@ func main() {
 		os.Exit(2)
 	}
 
-	failed := false
-	for _, pkg := range pkgs {
-		for _, d := range analysis.Run(pkg, analyzers) {
-			fmt.Println(d)
-			failed = true
+	if *waivers {
+		ws := analysis.CollectWaivers(pkgs)
+		for _, w := range ws {
+			fmt.Printf("%s:%d: [%s] %s\n", w.Pos.Filename, w.Pos.Line, w.Check, w.Reason)
 		}
+		fmt.Printf("%d active waiver(s)\n", len(ws))
+		return
+	}
+
+	prog := analysis.NewProgram(pkgs)
+	diags := analysis.RunProgram(prog, analyzers)
+
+	if *counts {
+		byCheck := map[string]int{}
+		for _, a := range analyzers {
+			byCheck[a.Name] = 0
+		}
+		byCheck["lint"] = 0
+		for _, d := range diags {
+			byCheck[d.Check]++
+		}
+		out := struct {
+			Findings map[string]int `json:"findings"`
+			Total    int            `json:"total"`
+			Waivers  int            `json:"waivers"`
+		}{Findings: byCheck, Total: len(diags), Waivers: len(analysis.CollectWaivers(pkgs))}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "hiplint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	failed := false
+	for _, d := range diags {
+		fmt.Println(d)
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

@@ -52,6 +52,10 @@ func (d Diagnostic) String() string {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog holds the whole-run interprocedural facts (call graph and
+	// function summaries over every loaded package). Always non-nil:
+	// single-package runs get a single-package program.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -68,18 +72,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // Files returns the package's parsed files.
 func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
 
-// Run applies the analyzers to pkg and returns the surviving diagnostics:
-// suppressed findings are removed, malformed suppressions are added, and
-// the result is sorted by position. This is the single entry point shared
-// by the hiplint driver and the fixture test harness.
+// Run applies the analyzers to one package in isolation: a single-package
+// Program is built so interprocedural facts cover the package's own
+// functions (the fixture harness relies on this; helpers a fixture wants
+// summarized live in the fixture package itself).
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgram(NewProgram([]*Package{pkg}), analyzers)
+}
+
+// RunProgram applies the analyzers to every package of prog and returns
+// the surviving diagnostics: suppressed findings are removed, malformed,
+// unknown-check and unused suppressions are added, and the result is
+// sorted by position. This is the single entry point shared by the
+// hiplint driver and the fixture test harness.
+func RunProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg}
-		a.Run(pass)
-		diags = append(diags, pass.diags...)
+	for _, pkg := range prog.Pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
+			a.Run(pass)
+			pkgDiags = append(pkgDiags, pass.diags...)
+		}
+		diags = append(diags, applySuppressions(pkg, pkgDiags, analyzers)...)
 	}
-	diags = applySuppressions(pkg, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -105,6 +121,8 @@ func All() []*Analyzer {
 		SchedBlock,
 		CTCompare,
 		LockedSend,
+		SecFlow,
+		LockOrder,
 	}
 }
 

@@ -70,6 +70,67 @@ func isPoolPut(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
 	return nil, false
 }
 
+// isPoolGetProg extends isPoolGet through the call graph: a module
+// function whose summary says it returns a fresh pool buffer (a GetBuf
+// wrapper) counts as a Get.
+func isPoolGetProg(prog *Program, info *types.Info, call *ast.CallExpr) bool {
+	if isPoolGet(info, call) {
+		return true
+	}
+	if prog == nil {
+		return false
+	}
+	for _, cand := range prog.resolveCall(info, call) {
+		if s := prog.SummaryOf(cand); s != nil && s.ReturnsPoolBuf {
+			return true
+		}
+	}
+	return false
+}
+
+// isPoolPutProg extends isPoolPut through the call graph: passing a
+// buffer to a module function whose summary releases that parameter to
+// the pool (a PutBuf wrapper) is a Put of that argument.
+func isPoolPutProg(prog *Program, info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	if arg, ok := isPoolPut(info, call); ok {
+		return arg, ok
+	}
+	if prog == nil {
+		return nil, false
+	}
+	for _, cand := range prog.resolveCall(info, call) {
+		sum := prog.SummaryOf(cand)
+		if sum == nil {
+			continue
+		}
+		for pi, arg := range callArgsWithRecv(call, cand) {
+			if arg != nil && sum.paramFacts(pi)&ParamPutPool != 0 {
+				return arg, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// classifyOriginProg extends classifyOrigin through the call graph so a
+// buffer obtained from a GetBuf wrapper is tracked like a direct Get.
+func classifyOriginProg(prog *Program, info *types.Info, e ast.Expr) bufOrigin {
+	if org := classifyOrigin(info, e); org != originNone {
+		return org
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		if x.Low == nil || isZeroConst(info, x.Low) {
+			return classifyOriginProg(prog, info, x.X)
+		}
+	case *ast.CallExpr:
+		if !isPoolGet(info, x) && isPoolGetProg(prog, info, x) {
+			return originPool
+		}
+	}
+	return originNone
+}
+
 // bufOrigin classifies the RHS a tracked variable was assigned from.
 type bufOrigin int
 
@@ -138,7 +199,7 @@ func runBufOwn(pass *Pass) {
 			if !ok {
 				return true
 			}
-			arg, ok := isPoolPut(info, call)
+			arg, ok := isPoolPutProg(pass.Prog, info, call)
 			if !ok {
 				return true
 			}
@@ -235,7 +296,7 @@ func (bf *bufFn) collect(body *ast.BlockStmt) {
 			if obj == nil {
 				continue
 			}
-			if org := classifyOrigin(bf.info, as.Rhs[i]); org != originNone {
+			if org := classifyOriginProg(bf.pass.Prog, bf.info, as.Rhs[i]); org != originNone {
 				if _, seen := bf.origin[obj]; !seen {
 					bf.origin[obj] = org
 					bf.getPos[obj] = as.Rhs[i].Pos()
@@ -250,8 +311,8 @@ func (bf *bufFn) collect(body *ast.BlockStmt) {
 	inspectSkipFuncLit(body, func(n ast.Node) {
 		switch x := n.(type) {
 		case *ast.CallExpr:
-			if _, isPut := isPoolPut(bf.info, x); isPut {
-				if obj := bf.trackedIdent(x.Args[0]); obj != nil {
+			if arg, isPut := isPoolPutProg(bf.pass.Prog, bf.info, x); isPut {
+				if obj := bf.trackedIdent(arg); obj != nil {
 					bf.handoff[obj] = true
 				}
 				return
@@ -590,7 +651,7 @@ func (bf *bufFn) escapeTargets(e ast.Expr) []types.Object {
 func (bf *bufFn) visitEvent(n ast.Node, st *bufState) {
 	switch x := n.(type) {
 	case *ast.CallExpr:
-		arg, isPut := isPoolPut(bf.info, x)
+		arg, isPut := isPoolPutProg(bf.pass.Prog, bf.info, x)
 		if !isPut {
 			return
 		}

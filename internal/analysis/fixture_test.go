@@ -42,7 +42,31 @@ func loadFixture(t *testing.T, name string) *Package {
 // detection logic fails the test.
 func checkFixture(t *testing.T, fixture string, analyzer *Analyzer) {
 	t.Helper()
-	pkg := loadFixture(t, fixture)
+	checkPkgs(t, fixture, []*Package{loadFixture(t, fixture)}, analyzer)
+}
+
+// checkFixtureMulti loads every package under testdata/src/<fixture>/...
+// into one shared Program before checking // want comments across all of
+// them: the harness for cross-package interprocedural cases, where the
+// flagged call site and the summarized callee live in different packages.
+func checkFixtureMulti(t *testing.T, fixture string, analyzer *Analyzer) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(filepath.Join("testdata", "src", fixture) + "/...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) < 2 {
+		t.Fatalf("fixture %s: got %d packages, want at least 2 (use checkFixture for single-package fixtures)", fixture, len(pkgs))
+	}
+	checkPkgs(t, fixture, pkgs, analyzer)
+}
+
+func checkPkgs(t *testing.T, fixture string, pkgs []*Package, analyzer *Analyzer) {
+	t.Helper()
 
 	type lineKey struct {
 		file string
@@ -53,26 +77,28 @@ func checkFixture(t *testing.T, fixture string, analyzer *Analyzer) {
 		used bool
 	}
 	wants := make(map[lineKey][]*want)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "// want")
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				line := pos.Line
-				if rest, ok := strings.CutPrefix(text, ":+1"); ok {
-					line++
-					text = rest
-				}
-				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
-					re, err := regexp.Compile(m[1])
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want")
+					if !ok {
+						continue
 					}
-					k := lineKey{pos.Filename, line}
-					wants[k] = append(wants[k], &want{re: re})
+					pos := pkg.Fset.Position(c.Pos())
+					line := pos.Line
+					if rest, ok := strings.CutPrefix(text, ":+1"); ok {
+						line++
+						text = rest
+					}
+					for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						k := lineKey{pos.Filename, line}
+						wants[k] = append(wants[k], &want{re: re})
+					}
 				}
 			}
 		}
@@ -81,7 +107,7 @@ func checkFixture(t *testing.T, fixture string, analyzer *Analyzer) {
 		t.Fatalf("fixture %s has no // want expectations", fixture)
 	}
 
-	for _, d := range Run(pkg, []*Analyzer{analyzer}) {
+	for _, d := range RunProgram(NewProgram(pkgs), []*Analyzer{analyzer}) {
 		k := lineKey{d.Pos.Filename, d.Pos.Line}
 		matched := false
 		for _, w := range wants[k] {
@@ -110,6 +136,13 @@ func TestSimDetFixture(t *testing.T)      { checkFixture(t, "simdet", SimDet) }
 func TestSchedBlockFixture(t *testing.T)  { checkFixture(t, "schedblock", SchedBlock) }
 func TestCTCompareFixture(t *testing.T)   { checkFixture(t, "ctcompare", CTCompare) }
 func TestLockedSendFixture(t *testing.T)  { checkFixture(t, "lockedsend", LockedSend) }
+func TestSecFlowFixture(t *testing.T)     { checkFixture(t, "secflow", SecFlow) }
+func TestLockOrderFixture(t *testing.T)   { checkFixture(t, "lockorder", LockOrder) }
+
+// TestSimDetInterprocFixture spans two packages: the virtual-time caller
+// package is flagged for wall-clock access it can only reach through the
+// summarized helper package.
+func TestSimDetInterprocFixture(t *testing.T) { checkFixtureMulti(t, "wallclock", SimDet) }
 
 // TestSuppressFixture proves //lint:allow semantics: a justified waiver
 // silences exactly one simdet diagnostic, an identical violation without

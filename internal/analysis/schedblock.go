@@ -101,6 +101,15 @@ func checkSchedBody(pass *Pass, info *types.Info, entry string, body ast.Node) {
 			if isProcPtr(info, arg) {
 				name := callDisplayName(fn, call)
 				pass.Reportf(call.Pos(), "%s takes a *Proc inside a %s callback: Proc APIs park the caller and would block the scheduler; restructure as events or move the call into a spawned process", name, entry)
+				return true
+			}
+		}
+		// Interprocedural: a callee that blocks through a Proc it holds
+		// internally (a field, a captured variable) is just as fatal to
+		// the scheduler as passing one in.
+		for _, cand := range pass.Prog.resolveCall(info, call) {
+			if sum := pass.Prog.SummaryOf(cand); sum != nil && sum.Blocks != nil {
+				pass.Reportf(call.Pos(), "%s inside a %s callback reaches %s, which parks the calling process and would block the scheduler", callDisplayName(fn, call), entry, sum.Blocks.chain())
 				break
 			}
 		}

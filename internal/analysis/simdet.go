@@ -86,6 +86,22 @@ func runSimDet(pass *Pass) {
 					if globalRandFuncs[fn.Name()] && isPackageLevelCall(info, x) {
 						pass.Reportf(x.Pos(), "global math/rand.%s uses the shared seed-once source; draw from the simulation's seeded *rand.Rand (Sim.Rand)", fn.Name())
 					}
+				default:
+					// Interprocedural: calling out to a module function in a
+					// wall-clock package whose summary transitively reaches
+					// the clock smuggles nondeterminism in through a helper.
+					// Callees in virtual-time packages are flagged at their
+					// own direct call site instead. Only statically resolved
+					// callees count: a sim run wires sim implementations
+					// behind module interfaces, so condemning a call for
+					// every implementor (e.g. the real-socket hipudp.Conn)
+					// would flag bindings it never takes.
+					calleePkg := pass.Prog.pkgNameOf(fn)
+					if calleePkg != "" && !virtualTimePkgs[calleePkg] {
+						if sum := pass.Prog.SummaryOf(fn); sum != nil && sum.WallClock != nil {
+							pass.Reportf(x.Pos(), "call to %s.%s reaches the wall clock (%s) from a virtual-time package; thread the simulator clock through instead", calleePkg, fn.Name(), sum.WallClock.chain())
+						}
+					}
 				}
 			case *ast.RangeStmt:
 				if !isMapRange(info, x) {

@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -13,19 +15,13 @@ type suppression struct {
 	used   bool
 }
 
-// applySuppressions filters diags through the package's //lint:allow
-// comments and appends a diagnostic for every malformed suppression.
-//
-// A comment
-//
-//	//lint:allow <check> <reason...>
-//
-// silences diagnostics of <check> on its own line or on the line directly
-// below it (so it can trail the flagged statement or sit above it). The
-// reason is mandatory: a suppression without one is reported under the
-// synthetic check name "lint" and silences nothing.
-func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+// parseSuppressions extracts every //lint:allow comment in pkg. Malformed
+// comments (missing check name or reason) come back as diagnostics under
+// the synthetic check name "lint" and are excluded from the suppression
+// list.
+func parseSuppressions(pkg *Package) ([]suppression, []Diagnostic) {
 	var sups []suppression
+	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -36,7 +32,7 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 				pos := pkg.Fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) < 2 {
-					diags = append(diags, Diagnostic{
+					bad = append(bad, Diagnostic{
 						Pos:     pos,
 						Check:   "lint",
 						Message: "suppression is missing a check name and/or reason: want //lint:allow <check> <reason>",
@@ -51,9 +47,51 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 			}
 		}
 	}
-	if len(sups) == 0 {
-		return diags
+	return sups, bad
+}
+
+// knownCheckNames is every name a //lint:allow comment may legally carry:
+// the full analyzer suite plus the synthetic "lint" check the suppression
+// machinery reports under.
+func knownCheckNames() map[string]bool {
+	known := map[string]bool{"lint": true}
+	for _, a := range All() {
+		known[a.Name] = true
 	}
+	return known
+}
+
+// applySuppressions filters diags through the package's //lint:allow
+// comments and appends a diagnostic for every defective suppression.
+//
+// A comment
+//
+//	//lint:allow <check> <reason...>
+//
+// silences diagnostics of <check> on its own line or on the line directly
+// below it (so it can trail the flagged statement or sit above it). Three
+// defects are themselves findings, reported under the synthetic check
+// name "lint" and impossible to waive:
+//
+//   - a suppression with no reason string (every waiver must say why);
+//   - a check name no analyzer answers to (typo'd waivers silently
+//     accept the finding they meant to document);
+//   - a waiver whose check ran over the package and flagged nothing on
+//     its lines (the code was fixed, or the waiver never matched — either
+//     way it is dead and must be deleted).
+//
+// Unused-ness is only judged for checks in ran: a simdet waiver is not
+// "unused" during a -checks=bufown run that never gave it a chance.
+func applySuppressions(pkg *Package, diags []Diagnostic, ran []*Analyzer) []Diagnostic {
+	sups, bad := parseSuppressions(pkg)
+	diags = append(diags, bad...)
+
+	known := knownCheckNames()
+	ranSet := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+
 	var out []Diagnostic
 	for _, d := range diags {
 		suppressed := false
@@ -72,5 +110,49 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	for _, s := range sups {
+		switch {
+		case !known[s.check]:
+			out = append(out, Diagnostic{
+				Pos:     s.pos,
+				Check:   "lint",
+				Message: fmt.Sprintf("//lint:allow names unknown check %q; it suppresses nothing (see hiplint -list for check names)", s.check),
+			})
+		case ranSet[s.check] && !s.used:
+			out = append(out, Diagnostic{
+				Pos:     s.pos,
+				Check:   "lint",
+				Message: "unused //lint:allow " + s.check + ": the check reports nothing on this line or the next; delete the waiver",
+			})
+		}
+	}
+	return out
+}
+
+// Waiver is one active, well-formed //lint:allow comment, as listed by
+// `hiplint -waivers`.
+type Waiver struct {
+	Pos    token.Position
+	Check  string
+	Reason string
+}
+
+// CollectWaivers lists every well-formed waiver across pkgs, sorted by
+// position, so the waiver inventory is auditable in one command.
+func CollectWaivers(pkgs []*Package) []Waiver {
+	var out []Waiver
+	for _, pkg := range pkgs {
+		sups, _ := parseSuppressions(pkg)
+		for _, s := range sups {
+			out = append(out, Waiver{Pos: s.pos, Check: s.check, Reason: s.reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
 	return out
 }

@@ -64,3 +64,32 @@ func reuseAfterReslice() {
 	b = append(b, 1, 2, 3)
 	netsim.PutBuf(b)
 }
+
+// getScratch and putScratch wrap the pool: their summaries (returns a
+// fresh pool buffer / releases its parameter) make the wrapped cases
+// below equivalent to calling the pool directly.
+
+func getScratch() []byte { return netsim.GetBuf(64) }
+
+func putScratch(b []byte) { netsim.PutBuf(b) }
+
+// wrappedLeak draws through the wrapper and never releases.
+func wrappedLeak() {
+	b := getScratch() // want "neither released"
+	b[0] = 1
+}
+
+// wrappedPair is correct: acquisition and release both go through the
+// wrappers.
+func wrappedPair() {
+	b := getScratch()
+	b[0] = 1
+	putScratch(b)
+}
+
+// wrappedDoublePut releases once through the wrapper and once directly.
+func wrappedDoublePut() {
+	b := getScratch()
+	putScratch(b)
+	netsim.PutBuf(b) // want "second PutBuf of b"
+}

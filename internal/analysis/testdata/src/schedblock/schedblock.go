@@ -96,6 +96,37 @@ func nonBlockingHandlerOK(s *Sim, q *WaitQueue, tm *Timer) {
 	})
 }
 
+// worker holds its Proc in a field: blocking through it passes no *Proc
+// argument, so only the summary engine can see the park.
+type worker struct{ p *Proc }
+
+func (w *worker) wait() { w.p.Sleep(time.Millisecond) }
+
+func fieldProcInHandler(s *Sim, w *worker) {
+	s.At(0, func() {
+		w.wait() // want "worker.wait inside a Sim.At callback reaches Proc.Sleep"
+	})
+}
+
+// scheduleWake mirrors the scheduler's internal wake path: it takes a
+// *Proc but parks nobody.
+func scheduleWake(p *Proc) {}
+
+// wakeAll's summary must stay block-free: inside package netsim the
+// takes-*Proc summary heuristic is suspended (the scheduler's own wake
+// machinery shuttles Procs without parking), so handlers can call it.
+func wakeAll(procs []*Proc) {
+	for _, p := range procs {
+		scheduleWake(p)
+	}
+}
+
+func wakeFromHandlerOK(s *Sim, procs []*Proc) {
+	s.At(0, func() {
+		wakeAll(procs)
+	})
+}
+
 func processContextOK(q *WaitQueue, cpu *CPU) {
 	fn := func(p *Proc) {
 		p.Sleep(time.Millisecond)

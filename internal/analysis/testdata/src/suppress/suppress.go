@@ -17,3 +17,15 @@ func malformedWaiver() {
 	//lint:allow simdet
 	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
 }
+
+func unknownCheckWaiver() {
+	// want:+1 "names unknown check .nosuch.; it suppresses nothing"
+	//lint:allow nosuch fixture: the check name has a typo
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func unusedWaiver() {
+	// want:+1 "unused //lint:allow simdet: the check reports nothing"
+	//lint:allow simdet fixture: this line stopped violating long ago
+	_ = time.Millisecond
+}

@@ -1,0 +1,21 @@
+// Package netsim here is the caller half of the wallclock fixture: the
+// package name puts it in the virtual-time set, and every wall-clock
+// access below hides behind a call into the sibling util package — only
+// the interprocedural summaries can see through it.
+package netsim
+
+import "hipcloud/internal/analysis/testdata/src/wallclock/util"
+
+func stampDirect() int64 {
+	return util.NowMillis() // want "reaches the wall clock"
+}
+
+func stampChained() int64 {
+	return util.Monotonic() // want "reaches the wall clock"
+}
+
+// sizeOK calls a clock-free helper from the same package: reachability,
+// not package membership, is what gets flagged.
+func sizeOK(b []byte) int {
+	return util.Width(b)
+}

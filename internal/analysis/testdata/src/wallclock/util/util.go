@@ -1,0 +1,18 @@
+// Package util is the callee half of the wallclock fixture: a
+// non-virtual-time helper package whose functions read the wall clock.
+// Nothing here is flagged — simdet only polices virtual-time packages —
+// but the summaries computed for these functions are what lets the
+// analyzer flag the cross-package call sites in the sibling sim package.
+package util
+
+import "time"
+
+// NowMillis reads the wall clock directly.
+func NowMillis() int64 { return time.Now().UnixMilli() }
+
+// Monotonic reaches the clock only through NowMillis, so flagging its
+// callers takes a two-hop chain through the summary engine.
+func Monotonic() int64 { return NowMillis() }
+
+// Width is clock-free: calling it from a virtual-time package is fine.
+func Width(b []byte) int { return len(b) }

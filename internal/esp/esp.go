@@ -450,6 +450,48 @@ func NewPair(keys keymat.AssociationKeys, localSPI, remoteSPI uint32) (*Pair, er
 	return &Pair{Out: out, In: in}, nil
 }
 
+// Zeroize wipes the outbound SA's key material: the encryption key (which
+// aliases the AssociationKeys slice it was built from) and the keyed MAC.
+// The expanded AES key schedule inside cipher.Block cannot be wiped
+// portably; dropping the reference is the best available. The SA must not
+// be used afterwards — it is retired by a rekey or teardown.
+func (sa *OutboundSA) Zeroize() {
+	if sa == nil {
+		return
+	}
+	keymat.Zeroize(sa.encKey)
+	sa.block = nil
+	sa.cbc = nil
+	if sa.mac != nil {
+		sa.mac.Zeroize()
+		sa.mac = nil
+	}
+}
+
+// Zeroize wipes the inbound SA's key material; see OutboundSA.Zeroize.
+func (sa *InboundSA) Zeroize() {
+	if sa == nil {
+		return
+	}
+	keymat.Zeroize(sa.encKey)
+	sa.block = nil
+	sa.cbc = nil
+	if sa.mac != nil {
+		sa.mac.Zeroize()
+		sa.mac = nil
+	}
+}
+
+// Zeroize retires both SAs of the pair. Nil-safe: rekey and teardown
+// paths call it on associations that may never have installed SAs.
+func (p *Pair) Zeroize() {
+	if p == nil {
+		return
+	}
+	p.Out.Zeroize()
+	p.In.Zeroize()
+}
+
 // Overhead reports the per-packet ESP byte overhead for a suite (header,
 // IV, trailer, ICV), used by cost models and wire-size accounting.
 func Overhead(s keymat.Suite) int {

@@ -58,6 +58,21 @@ type Association struct {
 	DataSent, DataRcvd uint64
 }
 
+// retire wipes the association's key material — the ESP SAs, the full
+// key set, the KEYMAT stream, and the initiator's ephemeral DH private
+// key — before the association is dropped or replaced. Without the wipe
+// the retired keys linger on the heap for as long as the allocator
+// pleases; any path that removes an Association from the host's maps
+// must call retire first.
+func (a *Association) retire() {
+	a.espPair.Zeroize()
+	a.keys.Zeroize()
+	if a.km != nil {
+		a.km.Zeroize()
+	}
+	keymat.Zeroize(a.dhPrivBytes)
+}
+
 // State returns the association state.
 func (a *Association) State() State { return a.state }
 

@@ -22,6 +22,7 @@ func (h *Host) Connect(peerHIT, peerLocator netip.Addr, now time.Duration) error
 		case Established, I1Sent, I2Sent:
 			return nil
 		}
+		a.retire()
 		delete(h.assocs, peerHIT)
 		if a.localSPI != 0 {
 			delete(h.bySPI, a.localSPI)
@@ -81,6 +82,7 @@ func (h *Host) OnPacket(data []byte, src netip.Addr, now time.Duration) {
 			if n, err := hipwire.ParseNotification(p.Data); err == nil && n.Type == hipwire.NotifyBlockedByPolicy {
 				if a, ok := h.assocs[pkt.SenderHIT]; ok && a.state != Established {
 					a.cancelRetrans()
+					a.retire()
 					delete(h.assocs, pkt.SenderHIT)
 					h.event(EventFailed, pkt.SenderHIT, src)
 				}
@@ -266,6 +268,9 @@ func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 		return
 	}
 	km := keymat.New(secret, pkt.SenderHIT, h.HIT(), sol.I, sol.J)
+	// The key stream holds its own copy of Kij; wipe ours now rather
+	// than leaving the raw shared secret on the heap.
+	keymat.Zeroize(secret)
 	keys, err := keymat.DeriveAssociation(km, suite, false)
 	if err != nil {
 		h.PacketsDropped++
@@ -348,6 +353,7 @@ func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 	a.espPair = pair
 	if old, ok := h.assocs[a.PeerHIT]; ok {
 		old.cancelRetrans()
+		old.retire()
 		if old.localSPI != 0 {
 			delete(h.bySPI, old.localSPI)
 		}
@@ -457,6 +463,9 @@ func (h *Host) handleR1(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 		return
 	}
 	km := keymat.New(secret, h.HIT(), pkt.SenderHIT, pz.I, j)
+	// As on the responder side: the key stream copied Kij, so the raw
+	// shared secret must not outlive this frame.
+	keymat.Zeroize(secret)
 	keys, err := keymat.DeriveAssociation(km, suite, true)
 	if err != nil {
 		return

@@ -215,6 +215,12 @@ func (h *Host) installRekeyedSAs(a *Association, espKeys keymat.AssociationKeys,
 		return err
 	}
 	delete(h.bySPI, a.localSPI)
+	// The displaced SAs and directional ESP keys are dead once the swap
+	// lands: wipe them before dropping the last references. The HIP
+	// control keys were carried into espKeys above and stay live, so
+	// only the ESP slots are cleared.
+	a.espPair.Zeroize()
+	a.keys.ZeroizeESP()
 	a.localSPI, a.remoteSPI = newLocal, newRemote
 	a.keys = espKeys
 	a.espPair = pair

@@ -144,6 +144,46 @@ func (k *Keymat) Draw(n int) []byte {
 // Drawn reports total bytes drawn (the KEYMAT index).
 func (k *Keymat) Drawn() int { return k.drawn }
 
+// Zeroize overwrites b with zeros. Retired key material — an ECDH shared
+// secret the KDF has consumed, keys displaced by a rekey, evicted
+// session secrets — must be wiped before the last reference is dropped,
+// or the plaintext lingers on the heap for as long as the allocator
+// pleases (hiplint's secflow check enforces this on rekey/close paths).
+func Zeroize(b []byte) {
+	clear(b)
+}
+
+// Zeroize wipes the key stream's secret state: Kij, the chained block,
+// and any drawn-but-unread stream bytes. The Keymat must not be used
+// afterwards; an association drops its stream only at teardown.
+func (k *Keymat) Zeroize() {
+	clear(k.kij)
+	clear(k.prev)
+	k.ij = [16]byte{}
+	clear(k.buf.Bytes())
+	k.buf.Reset()
+}
+
+// ZeroizeESP wipes the four directional ESP keys, leaving the HIP
+// control-plane keys intact: a rekey replaces only the data-plane keys
+// and carries the control keys into the successor key set.
+func (a *AssociationKeys) ZeroizeESP() {
+	clear(a.ESPEncOut)
+	clear(a.ESPAuthOut)
+	clear(a.ESPEncIn)
+	clear(a.ESPAuthIn)
+}
+
+// Zeroize wipes the full key set, control-plane keys included; for
+// association teardown, where nothing is carried forward.
+func (a *AssociationKeys) Zeroize() {
+	a.ZeroizeESP()
+	clear(a.HIPEncOut)
+	clear(a.HIPEncIn)
+	clear(a.HIPMacOut)
+	clear(a.HIPMacIn)
+}
+
 // AssociationKeys is the full key set for one HIP association.
 type AssociationKeys struct {
 	Suite Suite

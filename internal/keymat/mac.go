@@ -54,6 +54,15 @@ func (m *MAC) VerifyTrunc(tag []byte, n int) bool {
 	return hmac.Equal(tag, m.Sum()[:n])
 }
 
+// Zeroize drops the keyed state and wipes the digest scratch. The
+// stdlib HMAC holds keyed pad copies internally that cannot be wiped
+// portably; releasing the reference is the best that can be done for
+// them. The MAC is unusable afterwards.
+func (m *MAC) Zeroize() {
+	m.h = nil
+	m.sum = [sha256.Size]byte{}
+}
+
 // CTRScratch holds the counter and keystream blocks CTRXor works in.
 // Embedding it in a long-lived owner (an SA, a connection) keeps the
 // blocks off the per-packet heap: they must not live on CTRXor's own

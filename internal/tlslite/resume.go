@@ -4,6 +4,8 @@ import (
 	"crypto/hmac"
 	"io"
 	"sync"
+
+	"hipcloud/internal/keymat"
 )
 
 // Session resumption: the server hands the client an opaque ticket after
@@ -32,6 +34,7 @@ func (s *ServerSessions) put(ticket, secret []byte) {
 	defer s.mu.Unlock()
 	if len(s.m) >= s.Cap {
 		for k := range s.m { // arbitrary eviction keeps the store bounded
+			keymat.Zeroize(s.m[k]) // the evicted master secret must not linger
 			delete(s.m, k)
 			break
 		}
@@ -39,11 +42,17 @@ func (s *ServerSessions) put(ticket, secret []byte) {
 	s.m[string(ticket)] = append([]byte(nil), secret...)
 }
 
+// get returns a copy of the master secret for ticket: the store wipes
+// its slices on eviction, so handing out aliases would zero material a
+// caller is still deriving keys from.
 func (s *ServerSessions) get(ticket []byte) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sec, ok := s.m[string(ticket)]
-	return sec, ok
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), sec...), true
 }
 
 // Len reports stored sessions.
@@ -72,23 +81,42 @@ func NewSessionCache() *SessionCache {
 func (c *SessionCache) put(server string, ticket, secret []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if old, ok := c.m[server]; ok {
+		keymat.Zeroize(old.ticket)
+		keymat.Zeroize(old.secret)
+	}
 	c.m[server] = clientSession{
 		ticket: append([]byte(nil), ticket...),
 		secret: append([]byte(nil), secret...),
 	}
 }
 
+// get returns a copy of the cached session: Forget and put wipe the
+// stored slices in place, so an aliased return would zero the ticket out
+// from under a caller mid-handshake (the fallback path reconstructs the
+// transcript hello from it after Forget).
 func (c *SessionCache) get(server string) (clientSession, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s, ok := c.m[server]
-	return s, ok
+	if !ok {
+		return clientSession{}, false
+	}
+	return clientSession{
+		ticket: append([]byte(nil), s.ticket...),
+		secret: append([]byte(nil), s.secret...),
+	}, true
 }
 
-// Forget drops the cached session for server (after a failed resumption).
+// Forget drops the cached session for server (after a failed resumption),
+// wiping the stored ticket and master secret before the entry is dropped.
 func (c *SessionCache) Forget(server string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if s, ok := c.m[server]; ok {
+		keymat.Zeroize(s.ticket)
+		keymat.Zeroize(s.secret)
+	}
 	delete(c.m, server)
 }
 
