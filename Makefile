@@ -1,26 +1,41 @@
 GO ?= go
 
-.PHONY: all check lint lint-fix-scan vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke bench bench-full
+.PHONY: all check lint lint-budget budget lint-fix-scan vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke bench bench-full
 
 all: check
 
-# The full pre-merge gate: the custom analyzer suite, static checks,
-# build, tests (incl. race on the concurrent packages), a quick
-# allocation-guard smoke over the crypto fast paths, a short fuzz run
-# over the wire-format parsers, and a short-seed chaos run (determinism
-# plus HIP-recovers-the-migration, via the fault-injection harness), and
-# a short-seed storm run (control-plane overload under mass evacuation).
-check: lint vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke
+# The full pre-merge gate: the custom analyzer suite, the hot-path
+# allocation budget, static checks, build, tests (incl. race on the
+# concurrent packages), a quick allocation-guard smoke over the crypto
+# fast paths, a short fuzz run over the wire-format parsers, and a
+# short-seed chaos run (determinism plus HIP-recovers-the-migration, via
+# the fault-injection harness), and a short-seed storm run
+# (control-plane overload under mass evacuation).
+check: lint budget vet build test race bench-smoke fuzz-smoke chaos-smoke storm-smoke
 
 # hiplint (cmd/hiplint + internal/analysis) machine-checks the DESIGN.md
 # §5a contracts: buffer ownership (bufown), append-API aliasing
 # (appendalias), simulator determinism (simdet, schedblock), constant-time
-# compares (ctcompare), lock discipline (lockedsend, lockorder) and secret
-# hygiene (secflow). The whole module loads into one program so the
-# interprocedural checks see cross-package call chains. Findings are
-# waived only with //lint:allow <check> <reason>.
+# compares (ctcompare), lock discipline (lockedsend, lockorder), secret
+# hygiene (secflow) and hot-path allocation idioms (hotpath). The whole
+# module loads into one program so the interprocedural checks see
+# cross-package call chains. Findings are waived only with
+# //lint:allow <check> <reason>; the hot set carries zero waivers.
 lint:
 	$(GO) run ./cmd/hiplint ./...
+
+# The compiler-diagnostic half of the hotpath contract: rebuild with
+# -gcflags='-m=2 -d=ssa/check_bce/debug=1', fold escape and retained
+# bounds-check diagnostics onto the hot set, and fail on ANY drift from
+# the tracked LINT_BUDGET.json — regressions must be fixed, improvements
+# committed via `make lint-budget`. The go build cache replays the
+# diagnostics, so a clean tree re-checks in seconds.
+budget:
+	$(GO) run ./cmd/hiplint -budget ./...
+
+# Regenerate LINT_BUDGET.json from the current tree; commit the result.
+lint-budget:
+	$(GO) run ./cmd/hiplint -budget -write ./...
 
 # Reporting mode: per-analyzer finding counts as JSON (always exit 0),
 # for tracking the finding trajectory across PRs.
@@ -41,11 +56,15 @@ test:
 # goroutines), simtcp and hipsim (pump/kernel processes over netsim),
 # hipudp (real sockets: reader/timer goroutines vs callers), teredo
 # (tunnel taps in scheduler context) and rubis (request handlers against
-# the shared in-memory DB). Everything else is sans-io single-threaded
-# code already covered by `test`; re-running it under race only slowed
-# the gate.
+# the shared in-memory DB). rvs, hipdns and cloud are single-threaded
+# sans-io today, but they sit directly on the control-plane path the
+# concurrent layers drive, so they run under race too as cheap insurance
+# against a goroutine slipping in. Everything else is sans-io
+# single-threaded code already covered by `test`; re-running it under
+# race only slowed the gate.
 RACE_PKGS = ./internal/netsim ./internal/simtcp ./internal/hipsim \
-	./internal/hipudp ./internal/teredo ./internal/rubis ./internal/faults
+	./internal/hipudp ./internal/teredo ./internal/rubis ./internal/faults \
+	./internal/rvs ./internal/hipdns ./internal/cloud
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -89,11 +108,15 @@ storm-smoke:
 # recorded pre-rewrite baseline) and BENCH_CONTROL.json (the full-scale
 # storm experiment: re-contact latency, recovery time, shed and
 # retransmit counts per transport tier). Commit the refreshed files when
-# the numbers move for a reason.
+# the numbers move for a reason. Each snapshot is written to a temp
+# file and renamed into place, so an interrupted or failing run can
+# never leave a truncated tracked file behind.
 bench:
-	$(GO) run ./cmd/benchcloud -run simbench -json > BENCH_SIM.json
+	$(GO) run ./cmd/benchcloud -run simbench -json > BENCH_SIM.json.tmp
+	mv BENCH_SIM.json.tmp BENCH_SIM.json
 	@cat BENCH_SIM.json
-	$(GO) run ./cmd/benchcloud -run storm -json > BENCH_CONTROL.json
+	$(GO) run ./cmd/benchcloud -run storm -json > BENCH_CONTROL.json.tmp
+	mv BENCH_CONTROL.json.tmp BENCH_CONTROL.json
 	@cat BENCH_CONTROL.json
 
 # Full Go benchmark sweep, including the paper-figure reproductions.

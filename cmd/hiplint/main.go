@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hiplint [-checks bufown,secflow,...] [-list] [-waivers] [-counts] [patterns...]
+//	hiplint [-checks bufown,secflow,...] [-list] [-waivers] [-counts] [-budget [-write]] [patterns...]
 //
 // Patterns default to ./... and accept directories or module import
 // paths, recursively with /... . All matched packages are loaded into one
@@ -22,6 +22,15 @@
 // instead of running the checks; -counts runs the checks and prints
 // per-analyzer finding counts as JSON (exit 0 regardless), for tracking
 // the finding trajectory across PRs via `make lint-fix-scan`.
+//
+// -budget runs the compiler-diagnostic layer of the hotpath contract
+// instead of the AST analyzers: it rebuilds the module with
+// -gcflags='-m=2 -d=ssa/check_bce/debug=1', folds the escape and
+// bounds-check diagnostics onto the hotpath hot set, and compares the
+// per-function counts against the tracked LINT_BUDGET.json at the module
+// root. Any drift fails: regressions must be fixed, improvements must be
+// committed by regenerating the snapshot with -budget -write (wired as
+// `make lint-budget`).
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"hipcloud/internal/analysis"
@@ -39,6 +49,8 @@ func main() {
 	list := flag.Bool("list", false, "list available checks and exit")
 	waivers := flag.Bool("waivers", false, "report every active //lint:allow waiver and exit")
 	counts := flag.Bool("counts", false, "print per-analyzer finding counts as JSON (always exit 0)")
+	budget := flag.Bool("budget", false, "check compiler escape/bounds diagnostics over the hot set against LINT_BUDGET.json")
+	write := flag.Bool("write", false, "with -budget: regenerate LINT_BUDGET.json instead of diffing")
 	flag.Parse()
 
 	if *list {
@@ -84,6 +96,41 @@ func main() {
 	}
 
 	prog := analysis.NewProgram(pkgs)
+
+	if *budget {
+		cur, err := analysis.ComputeBudget(prog, "go", loader.ModRoot, loader.ModPath, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiplint:", err)
+			os.Exit(2)
+		}
+		budgetPath := filepath.Join(loader.ModRoot, analysis.BudgetFile)
+		if *write {
+			if err := analysis.WriteBudget(budgetPath, cur); err != nil {
+				fmt.Fprintln(os.Stderr, "hiplint:", err)
+				os.Exit(2)
+			}
+			esc, bnd := analysis.BudgetTotals(cur)
+			fmt.Printf("wrote %s: %d hot function(s), %d escape(s), %d retained bounds check(s)\n",
+				analysis.BudgetFile, len(cur.Functions), esc, bnd)
+			return
+		}
+		tracked, err := analysis.LoadBudget(budgetPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiplint:", err)
+			os.Exit(2)
+		}
+		drift := analysis.DiffBudget(tracked, cur)
+		for _, d := range drift {
+			fmt.Println(d)
+		}
+		if len(drift) > 0 {
+			fmt.Printf("%d function(s) drifted from %s; fix regressions, then `make lint-budget` and commit\n",
+				len(drift), analysis.BudgetFile)
+			os.Exit(1)
+		}
+		return
+	}
+
 	diags := analysis.RunProgram(prog, analyzers)
 
 	if *counts {
@@ -99,7 +146,19 @@ func main() {
 			Findings map[string]int `json:"findings"`
 			Total    int            `json:"total"`
 			Waivers  int            `json:"waivers"`
-		}{Findings: byCheck, Total: len(diags), Waivers: len(analysis.CollectWaivers(pkgs))}
+			Budget   map[string]int `json:"budget"`
+		}{Findings: byCheck, Total: len(diags), Waivers: len(analysis.CollectWaivers(pkgs)), Budget: map[string]int{}}
+		// Fold in the budget-layer trajectory (hot-set size plus compiler
+		// escape/bounds totals); a failed diagnostic build degrades to
+		// zeros rather than failing the report.
+		if cur, err := analysis.ComputeBudget(prog, "go", loader.ModRoot, loader.ModPath, patterns); err == nil {
+			esc, bnd := analysis.BudgetTotals(cur)
+			out.Budget["functions"] = len(cur.Functions)
+			out.Budget["escapes"] = esc
+			out.Budget["bounds"] = bnd
+		} else {
+			fmt.Fprintln(os.Stderr, "hiplint: budget layer skipped:", err)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {

@@ -123,6 +123,7 @@ func All() []*Analyzer {
 		LockedSend,
 		SecFlow,
 		LockOrder,
+		HotPath,
 	}
 }
 

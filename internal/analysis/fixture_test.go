@@ -138,6 +138,8 @@ func TestCTCompareFixture(t *testing.T)   { checkFixture(t, "ctcompare", CTCompa
 func TestLockedSendFixture(t *testing.T)  { checkFixture(t, "lockedsend", LockedSend) }
 func TestSecFlowFixture(t *testing.T)     { checkFixture(t, "secflow", SecFlow) }
 func TestLockOrderFixture(t *testing.T)   { checkFixture(t, "lockorder", LockOrder) }
+func TestHotPathFixture(t *testing.T)     { checkFixture(t, "hotpath", HotPath) }
+func TestHotSetFixture(t *testing.T)      { checkFixture(t, "hotset", HotPath) }
 
 // TestSimDetInterprocFixture spans two packages: the virtual-time caller
 // package is flagged for wall-clock access it can only reach through the

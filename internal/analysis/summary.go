@@ -139,6 +139,8 @@ type Program struct {
 	lockGraph *lockGraph
 	// secflow's program-wide secret field classes, built lazily.
 	secretClasses map[string]bool
+	// hotpath's transitive hot set, built lazily on first use.
+	hotSet map[*types.Func]*HotInfo
 }
 
 // NewProgram builds the call graph over pkgs and computes summaries

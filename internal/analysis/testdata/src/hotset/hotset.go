@@ -1,0 +1,66 @@
+// Package netsim here is a hiplint fixture for the hot-set computation
+// itself: it borrows a hot-root package name so Sim.Run seeds the set,
+// then lays out one interface with a single module implementor (the
+// must-dispatch edge joins the hot set) and one with two (ambiguous: no
+// edge, nobody joins). TestHotSetMustSemantics asserts membership; the
+// single // want below just satisfies the fixture harness when this
+// package is also run through the analyzer.
+package netsim
+
+type Sim struct {
+	h single
+	m multi
+}
+
+// single has exactly one module implementor: must-dispatch resolves it.
+type single interface{ Handle() }
+
+type only struct{ n int }
+
+func (o *only) Handle() { o.n = onlyReached(o.n) }
+
+func onlyReached(n int) int { return n + 1 }
+
+// multi has two module implementors: dispatch is ambiguous, so neither
+// implementation (nor anything below them) becomes hot.
+type multi interface{ Do() }
+
+type impl1 struct{}
+
+func (impl1) Do() { implReached(1) }
+
+type impl2 struct{}
+
+func (impl2) Do() { implReached(2) }
+
+var sink map[string]int
+
+func implReached(n int) {
+	// A map range that must NOT be flagged: this function is only
+	// reachable through the ambiguous multi.Do dispatch.
+	for k := range sink {
+		sink[k] = n
+	}
+}
+
+// Run is the root. direct() is hot through a static call; s.h.Handle()
+// is hot through the single-implementor interface edge; s.m.Do() adds
+// nothing.
+func (s *Sim) Run() {
+	direct()
+	s.h.Handle()
+	s.m.Do()
+}
+
+func direct() {
+	for range sink { // want "map iteration on the hot path"
+	}
+}
+
+// orphan is unreachable from any root.
+func orphan() {
+	for range sink {
+	}
+}
+
+var _ = orphan

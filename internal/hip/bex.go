@@ -23,7 +23,7 @@ func (h *Host) Connect(peerHIT, peerLocator netip.Addr, now time.Duration) error
 			return nil
 		}
 		a.retire()
-		delete(h.assocs, peerHIT)
+		h.delAssoc(peerHIT)
 		if a.localSPI != 0 {
 			delete(h.bySPI, a.localSPI)
 		}
@@ -34,7 +34,7 @@ func (h *Host) Connect(peerHIT, peerLocator netip.Addr, now time.Duration) error
 		state:       I1Sent,
 		initiator:   true,
 	}
-	h.assocs[peerHIT] = a
+	h.addAssoc(a)
 	h.BEXInitiated++
 	i1 := &hipwire.Packet{Type: hipwire.I1, SenderHIT: h.HIT(), ReceiverHIT: peerHIT}
 	pkt := i1.Marshal()
@@ -83,7 +83,7 @@ func (h *Host) OnPacket(data []byte, src netip.Addr, now time.Duration) {
 				if a, ok := h.assocs[pkt.SenderHIT]; ok && a.state != Established {
 					a.cancelRetrans()
 					a.retire()
-					delete(h.assocs, pkt.SenderHIT)
+					h.delAssoc(pkt.SenderHIT)
 					h.event(EventFailed, pkt.SenderHIT, src)
 				}
 			}
@@ -111,7 +111,7 @@ func (h *Host) r1TemplateFor(k uint8) *r1Template {
 		{hipwire.ParamHostID, hipwire.HostID{
 			Algorithm: uint16(h.id.Algorithm()),
 			HI:        h.id.Public().DER,
-			DI:        h.cfg.DomainID,
+			DI:        h.domainID,
 		}.Marshal()},
 	}}
 	// Sign the template with receiver HIT, puzzle I and opaque zeroed.
@@ -358,7 +358,7 @@ func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 			delete(h.bySPI, old.localSPI)
 		}
 	}
-	h.assocs[a.PeerHIT] = a
+	h.addAssoc(a)
 	h.bySPI[a.localSPI] = a
 	h.BEXCompleted++
 
@@ -491,7 +491,7 @@ func (h *Host) handleR1(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 	hostIDBody := hipwire.HostID{
 		Algorithm: uint16(h.id.Algorithm()),
 		HI:        h.id.Public().DER,
-		DI:        h.cfg.DomainID,
+		DI:        h.domainID,
 	}.Marshal()
 	if h.cfg.EncryptHostID {
 		sealed, err := h.sealEncryptedParam(keys.HIPEncOut, hipwire.ParamHostID, hostIDBody)

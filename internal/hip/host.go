@@ -21,7 +21,6 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
-	"sort"
 	"time"
 
 	"hipcloud/internal/identity"
@@ -184,15 +183,20 @@ type Config struct {
 // Host is a HIP endpoint: identity, associations and the handshake
 // machinery.
 type Host struct {
-	cfg     Config
-	id      *identity.HostIdentity
-	locator netip.Addr
+	cfg      Config
+	id       *identity.HostIdentity
+	locator  netip.Addr
+	domainID []byte // cfg.DomainID converted once; HOST_ID params alias it
 
 	dhPriv *ecdh.PrivateKey // long-lived responder DH key (R1 pool key)
 	r1Tmpl map[uint8]*r1Template
 
 	assocs map[netip.Addr]*Association // by peer HIT
-	bySPI  map[uint32]*Association     // by local inbound SPI
+	// assocList mirrors assocs in peer-HIT order, maintained by
+	// addAssoc/delAssoc: the per-tick walks (OnTimer, NextDeadline) and
+	// every deterministic snapshot iterate it instead of ranging the map.
+	assocList []*Association
+	bySPI     map[uint32]*Association // by local inbound SPI
 
 	out    []OutPacket
 	events []Event
@@ -252,12 +256,13 @@ func NewHost(cfg Config) (*Host, error) {
 		cfg.RetransmitBase = 500 * time.Millisecond
 	}
 	h := &Host{
-		cfg:     cfg,
-		id:      cfg.Identity,
-		locator: cfg.Locator,
-		assocs:  make(map[netip.Addr]*Association),
-		bySPI:   make(map[uint32]*Association),
-		r1Tmpl:  make(map[uint8]*r1Template),
+		cfg:      cfg,
+		id:       cfg.Identity,
+		locator:  cfg.Locator,
+		domainID: []byte(cfg.DomainID),
+		assocs:   make(map[netip.Addr]*Association),
+		bySPI:    make(map[uint32]*Association),
+		r1Tmpl:   make(map[uint8]*r1Template),
 	}
 	seed := int64(1)
 	if cfg.Rand != nil {
@@ -345,20 +350,53 @@ func (h *Host) Association(peerHIT netip.Addr) (*Association, bool) {
 // Associations returns all current associations, ordered by peer HIT.
 func (h *Host) Associations() []*Association { return h.sortedAssocs() }
 
-// sortedAssocs snapshots the association map in peer-HIT order. Every
-// path that walks associations AND emits packets or events must iterate
-// this snapshot, never the map: map-range order would make packet
-// emission order depend on Go's map seed, breaking run-to-run determinism
-// of the simulation (the simdet contract).
+// sortedAssocs snapshots the associations in peer-HIT order. Every path
+// that walks associations AND emits packets or events must iterate this
+// snapshot, never the map: map-range order would make packet emission
+// order depend on Go's map seed, breaking run-to-run determinism of the
+// simulation (the simdet contract). assocList is already sorted, so the
+// snapshot is a single exact-size copy — no map range, no sort, no
+// comparator closure on the timer path. The copy (rather than returning
+// assocList itself) matters: OnTimer tears down failed associations
+// mid-walk, which mutates assocList under the iteration.
 func (h *Host) sortedAssocs() []*Association {
-	out := make([]*Association, 0, len(h.assocs))
-	for _, a := range h.assocs {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].PeerHIT.Compare(out[j].PeerHIT) < 0
-	})
+	out := make([]*Association, len(h.assocList))
+	copy(out, h.assocList)
 	return out
+}
+
+// addAssoc installs a in both views: the lookup map and the sorted list.
+// An existing association for the same peer is replaced in place.
+func (h *Host) addAssoc(a *Association) {
+	if _, ok := h.assocs[a.PeerHIT]; ok {
+		h.assocs[a.PeerHIT] = a
+		for i, old := range h.assocList {
+			if old.PeerHIT == a.PeerHIT {
+				h.assocList[i] = a
+				break
+			}
+		}
+		return
+	}
+	h.assocs[a.PeerHIT] = a
+	i := len(h.assocList)
+	for i > 0 && h.assocList[i-1].PeerHIT.Compare(a.PeerHIT) > 0 {
+		i--
+	}
+	h.assocList = append(h.assocList, nil)
+	copy(h.assocList[i+1:], h.assocList[i:])
+	h.assocList[i] = a
+}
+
+// delAssoc removes the association for peerHIT from both views.
+func (h *Host) delAssoc(peerHIT netip.Addr) {
+	delete(h.assocs, peerHIT)
+	for i, a := range h.assocList {
+		if a.PeerHIT == peerHIT {
+			h.assocList = append(h.assocList[:i], h.assocList[i+1:]...)
+			return
+		}
+	}
 }
 
 func (h *Host) emit(dst netip.Addr, data []byte) {
@@ -436,7 +474,7 @@ func (h *Host) statelessPuzzleI(hitI, hitR netip.Addr) uint64 {
 // associations (zero when none is armed).
 func (h *Host) NextDeadline() time.Duration {
 	var min time.Duration
-	for _, a := range h.assocs {
+	for _, a := range h.assocList {
 		if a.retransAt != 0 && (min == 0 || a.retransAt < min) {
 			min = a.retransAt
 		}
@@ -454,7 +492,7 @@ func (h *Host) OnTimer(now time.Duration) {
 			a.retransAt = 0
 			a.setState(h, Failed)
 			h.event(EventFailed, a.PeerHIT, a.PeerLocator)
-			delete(h.assocs, a.PeerHIT)
+			h.delAssoc(a.PeerHIT)
 			if a.localSPI != 0 {
 				delete(h.bySPI, a.localSPI)
 			}

@@ -220,7 +220,7 @@ func (h *Host) handleCloseAck(pkt *hipwire.Packet, src netip.Addr, now time.Dura
 func (h *Host) teardown(a *Association) {
 	a.state = Closed
 	a.retire()
-	delete(h.assocs, a.PeerHIT)
+	h.delAssoc(a.PeerHIT)
 	if a.localSPI != 0 {
 		delete(h.bySPI, a.localSPI)
 	}

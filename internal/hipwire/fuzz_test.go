@@ -11,7 +11,7 @@ func FuzzParse(f *testing.F) {
 	p := &Packet{Type: I2, SenderHIT: hitA, ReceiverHIT: hitB}
 	p.Add(ParamPuzzle, Puzzle{K: 10, I: 7}.Marshal())
 	p.Add(ParamSolution, Solution{K: 10, I: 7, J: 9}.Marshal())
-	p.Add(ParamHostID, HostID{Algorithm: 5, HI: bytes.Repeat([]byte{2}, 64), DI: "x"}.Marshal())
+	p.Add(ParamHostID, HostID{Algorithm: 5, HI: bytes.Repeat([]byte{2}, 64), DI: []byte("x")}.Marshal())
 	p.Add(ParamHMAC, bytes.Repeat([]byte{1}, 32))
 	f.Add(p.Marshal())
 	f.Add([]byte{})

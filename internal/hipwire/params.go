@@ -100,7 +100,7 @@ func ParseDiffieHellman(b []byte) (DiffieHellman, error) {
 	if len(b) < 3+n {
 		return DiffieHellman{}, ErrBadParam
 	}
-	return DiffieHellman{Group: b[0], Public: append([]byte(nil), b[3:3+n]...)}, nil
+	return DiffieHellman{Group: b[0], Public: b[3 : 3+n : 3+n]}, nil
 }
 
 // CipherList is the HIP_CIPHER / ESP_TRANSFORM body: preference-ordered
@@ -129,22 +129,23 @@ func ParseCipherList(b []byte) (CipherList, error) {
 }
 
 // HostID is the HOST_ID parameter: the sender's public key and an optional
-// domain identifier (FQDN).
+// domain identifier (FQDN). Both fields stay []byte end to end — parsed
+// values alias the packet body, and marshaling never round-trips through
+// string.
 type HostID struct {
 	Algorithm uint16
 	HI        []byte // PKIX DER public key
-	DI        string // domain identifier, may be empty
+	DI        []byte // domain identifier, may be empty
 }
 
 // Marshal encodes the HOST_ID body.
 func (h HostID) Marshal() []byte {
-	di := []byte(h.DI)
-	b := make([]byte, 6+len(h.HI)+len(di))
+	b := make([]byte, 6+len(h.HI)+len(h.DI))
 	binary.BigEndian.PutUint16(b[0:], uint16(len(h.HI)))
-	binary.BigEndian.PutUint16(b[2:], uint16(len(di)))
+	binary.BigEndian.PutUint16(b[2:], uint16(len(h.DI)))
 	binary.BigEndian.PutUint16(b[4:], h.Algorithm)
 	copy(b[6:], h.HI)
-	copy(b[6+len(h.HI):], di)
+	copy(b[6+len(h.HI):], h.DI)
 	return b
 }
 
@@ -160,8 +161,8 @@ func ParseHostID(b []byte) (HostID, error) {
 	}
 	return HostID{
 		Algorithm: binary.BigEndian.Uint16(b[4:]),
-		HI:        append([]byte(nil), b[6:6+hiLen]...),
-		DI:        string(b[6+hiLen : 6+hiLen+diLen]),
+		HI:        b[6 : 6+hiLen : 6+hiLen],
+		DI:        b[6+hiLen : 6+hiLen+diLen : 6+hiLen+diLen],
 	}, nil
 }
 
@@ -229,20 +230,20 @@ func ParseLocators(b []byte) ([]Locator, error) {
 	if len(b)%24 != 0 {
 		return nil, ErrBadParam
 	}
-	var out []Locator
-	for off := 0; off < len(b); off += 24 {
-		e := b[off : off+24]
+	out := make([]Locator, len(b)/24)
+	for i := range out {
+		e := b[i*24 : i*24+24]
 		var a16 [16]byte
 		copy(a16[:], e[8:24])
 		addr := netip.AddrFrom16(a16)
 		if addr.Is4In6() {
 			addr = addr.Unmap()
 		}
-		out = append(out, Locator{
+		out[i] = Locator{
 			Preferred: e[3]&1 == 1,
 			Lifetime:  binary.BigEndian.Uint32(e[4:]),
 			Addr:      addr,
-		})
+		}
 	}
 	return out, nil
 }
@@ -304,7 +305,7 @@ func ParseSignature(b []byte) (Signature, error) {
 	}
 	return Signature{
 		Algorithm: binary.BigEndian.Uint16(b),
-		Sig:       append([]byte(nil), b[2:]...),
+		Sig:       b[2:len(b):len(b)],
 	}, nil
 }
 
@@ -340,7 +341,7 @@ func ParseNotification(b []byte) (Notification, error) {
 	}
 	return Notification{
 		Type: binary.BigEndian.Uint16(b[2:]),
-		Data: append([]byte(nil), b[4:]...),
+		Data: b[4:len(b):len(b)],
 	}, nil
 }
 
@@ -393,7 +394,7 @@ func ParseEncrypted(b []byte) (Encrypted, error) {
 		return Encrypted{}, ErrEncrypted
 	}
 	return Encrypted{
-		IV:         append([]byte(nil), b[5:5+ivLen]...),
-		Ciphertext: append([]byte(nil), b[5+ivLen:]...),
+		IV:         b[5 : 5+ivLen : 5+ivLen],
+		Ciphertext: b[5+ivLen : len(b) : len(b)],
 	}, nil
 }

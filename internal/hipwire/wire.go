@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"sort"
 )
 
 // PacketType identifies a HIP control packet.
@@ -135,20 +134,29 @@ func (p *Packet) GetAll(t uint16) []Param {
 	return out
 }
 
-// Add appends a parameter (kept sorted at marshal time).
+// Add inserts a parameter, keeping Params sorted by type (the RFC 5201
+// wire order); parameters of equal type keep their insertion order.
+// Sorting here instead of at marshal time lets Marshal emit the slice
+// directly, with no per-packet snapshot, sort or comparator closure.
 func (p *Packet) Add(t uint16, data []byte) {
-	p.Params = append(p.Params, Param{Type: t, Data: data})
+	i := len(p.Params)
+	for i > 0 && p.Params[i-1].Type > t {
+		i--
+	}
+	p.Params = append(p.Params, Param{})
+	copy(p.Params[i+1:], p.Params[i:])
+	p.Params[i] = Param{Type: t, Data: data}
 }
 
 func pad8(n int) int { return (n + 7) &^ 7 }
 
-// Marshal encodes the packet, sorting parameters by type as RFC 5201
-// requires, and fills in the checksum.
+// Marshal encodes the packet and fills in the checksum. Params are
+// already type-sorted — Add maintains the order, and Parse rejects
+// out-of-order wire input — so hand-built packets must keep them sorted
+// (use Add).
 func (p *Packet) Marshal() []byte {
-	params := append([]Param(nil), p.Params...)
-	sort.SliceStable(params, func(i, j int) bool { return params[i].Type < params[j].Type })
 	size := HeaderLen
-	for _, pr := range params {
+	for _, pr := range p.Params {
 		size += pad8(4 + len(pr.Data))
 	}
 	b := make([]byte, size)
@@ -162,7 +170,7 @@ func (p *Packet) Marshal() []byte {
 	copy(b[8:24], sh[:])
 	copy(b[24:40], rh[:])
 	off := HeaderLen
-	for _, pr := range params {
+	for _, pr := range p.Params {
 		binary.BigEndian.PutUint16(b[off:], pr.Type)
 		binary.BigEndian.PutUint16(b[off+2:], uint16(len(pr.Data)))
 		copy(b[off+4:], pr.Data)
@@ -191,9 +199,9 @@ func Parse(b []byte) (*Packet, error) {
 		return nil, ErrBadVersion
 	}
 	want := binary.BigEndian.Uint16(b[4:])
-	tmp := append([]byte(nil), b...)
-	tmp[4], tmp[5] = 0, 0
-	if checksum(tmp) != want {
+	// checksum skips the checksum field itself, so the packet is summed
+	// in place — no zeroed scratch copy.
+	if checksum(b) != want {
 		return nil, ErrBadChecksum
 	}
 	var sh, rh [16]byte
@@ -207,6 +215,14 @@ func Parse(b []byte) (*Packet, error) {
 	}
 	off := HeaderLen
 	lastType := -1
+	// One backing array for every parameter body: each Param.Data aliases
+	// a capped window of the arena, so parsing costs two allocations
+	// (arena + Params slice) regardless of parameter count. The packet
+	// owns the arena; a caller retaining a parsed body past the packet's
+	// lifetime pins the whole arena and should copy instead.
+	arena := make([]byte, totalLen-HeaderLen)
+	copy(arena, b[HeaderLen:totalLen])
+	pkt.Params = make([]Param, 0, len(arena)/8)
 	for off < totalLen {
 		if off+4 > totalLen {
 			return nil, ErrBadParam
@@ -220,15 +236,15 @@ func Parse(b []byte) (*Packet, error) {
 			return nil, ErrParamOrder
 		}
 		lastType = int(t)
-		data := append([]byte(nil), b[off+4:off+4+l]...)
-		pkt.Params = append(pkt.Params, Param{Type: t, Data: data})
+		lo, hi := off+4-HeaderLen, off+4+l-HeaderLen
+		pkt.Params = append(pkt.Params, Param{Type: t, Data: arena[lo:hi:hi]})
 		off += pad8(4 + l)
 	}
 	return pkt, nil
 }
 
-// checksum is the 16-bit one's-complement internet checksum with the
-// checksum field zeroed (callers zero it before computing).
+// checksum is the 16-bit one's-complement internet checksum; the
+// checksum field (offset 4) is skipped, so callers sum packets in place.
 func checksum(b []byte) uint16 {
 	var sum uint32
 	for i := 0; i+1 < len(b); i += 2 {

@@ -21,7 +21,7 @@ func TestPacketRoundTrip(t *testing.T) {
 		ReceiverHIT: hitB,
 	}
 	p.Add(ParamSolution, Solution{K: 10, I: 42, J: 77}.Marshal())
-	p.Add(ParamHostID, HostID{Algorithm: 5, HI: []byte{1, 2, 3}, DI: "vm1.cloud"}.Marshal())
+	p.Add(ParamHostID, HostID{Algorithm: 5, HI: []byte{1, 2, 3}, DI: []byte("vm1.cloud")}.Marshal())
 	p.Add(ParamHMAC, bytes.Repeat([]byte{0xAB}, 32))
 	b := p.Marshal()
 	out, err := Parse(b)
@@ -138,9 +138,9 @@ func TestDiffieHellmanRoundTrip(t *testing.T) {
 }
 
 func TestHostIDRoundTrip(t *testing.T) {
-	h := HostID{Algorithm: 7, HI: bytes.Repeat([]byte{3}, 91), DI: "web1.example.org"}
+	h := HostID{Algorithm: 7, HI: bytes.Repeat([]byte{3}, 91), DI: []byte("web1.example.org")}
 	got, err := ParseHostID(h.Marshal())
-	if err != nil || got.Algorithm != 7 || !bytes.Equal(got.HI, h.HI) || got.DI != h.DI {
+	if err != nil || got.Algorithm != 7 || !bytes.Equal(got.HI, h.HI) || !bytes.Equal(got.DI, h.DI) {
 		t.Fatalf("hostid: %+v, %v", got, err)
 	}
 }
@@ -287,7 +287,7 @@ func BenchmarkMarshal(b *testing.B) {
 	p := &Packet{Type: I2, SenderHIT: hitA, ReceiverHIT: hitB}
 	p.Add(ParamESPInfo, ESPInfo{NewSPI: 7}.Marshal())
 	p.Add(ParamSolution, Solution{K: 10, I: 42, J: 77}.Marshal())
-	p.Add(ParamHostID, HostID{Algorithm: 5, HI: bytes.Repeat([]byte{3}, 294), DI: "vm1"}.Marshal())
+	p.Add(ParamHostID, HostID{Algorithm: 5, HI: bytes.Repeat([]byte{3}, 294), DI: []byte("vm1")}.Marshal())
 	p.Add(ParamHMAC, bytes.Repeat([]byte{1}, 32))
 	p.Add(ParamSignature, Signature{Algorithm: 5, Sig: bytes.Repeat([]byte{2}, 256)}.Marshal())
 	b.ReportAllocs()

@@ -153,7 +153,13 @@ func ParsePublicID(alg Algorithm, der []byte) (*PublicID, error) {
 	default:
 		return nil, ErrBadAlgorithm
 	}
-	p := &PublicID{Alg: alg, DER: append([]byte(nil), der...), key: key}
+	// The identity outlives the packet that carried the key, and parsed
+	// parameter bodies alias the packet's arena — so the DER copy is
+	// deliberate (exact-size): aliasing would pin the whole arena for the
+	// identity's lifetime.
+	derCopy := make([]byte, len(der))
+	copy(derCopy, der)
+	p := &PublicID{Alg: alg, DER: derCopy, key: key}
 	p.hit = deriveHIT(der)
 	return p, nil
 }

@@ -87,7 +87,7 @@ func Negotiate(offer, prefs []Suite) (Suite, error) {
 // Keymat is a deterministic key stream derived from the base exchange.
 type Keymat struct {
 	kij   []byte
-	hits  []byte // sorted concatenation of the two HITs
+	hits  [32]byte // sorted concatenation of the two HITs
 	ij    [16]byte
 	prev  []byte // previous block Kn-1
 	block uint8
@@ -99,13 +99,18 @@ type Keymat struct {
 // come from the puzzle exchange.
 func New(dhSecret []byte, hitI, hitR netip.Addr, i, j uint64) *Keymat {
 	a, b := hitI.As16(), hitR.As16()
-	var hits []byte
+	// The key stream owns its copy of Kij (callers wipe theirs right
+	// after New); exact-size, and the HIT concatenation is an inline
+	// array — no growing appends.
+	k := &Keymat{kij: make([]byte, len(dhSecret))}
+	copy(k.kij, dhSecret)
 	if bytes.Compare(a[:], b[:]) < 0 {
-		hits = append(append([]byte{}, a[:]...), b[:]...)
+		copy(k.hits[:16], a[:])
+		copy(k.hits[16:], b[:])
 	} else {
-		hits = append(append([]byte{}, b[:]...), a[:]...)
+		copy(k.hits[:16], b[:])
+		copy(k.hits[16:], a[:])
 	}
-	k := &Keymat{kij: append([]byte(nil), dhSecret...), hits: hits}
 	binary.BigEndian.PutUint64(k.ij[0:], i)
 	binary.BigEndian.PutUint64(k.ij[8:], j)
 	return k
@@ -115,7 +120,7 @@ func (k *Keymat) extend() {
 	h := sha256.New()
 	h.Write(k.kij)
 	if k.block == 0 {
-		h.Write(k.hits)
+		h.Write(k.hits[:])
 		h.Write(k.ij[:])
 		h.Write([]byte{1})
 		k.block = 1

@@ -50,8 +50,11 @@ type natMapping struct {
 	external netip.AddrPort
 	lastUsed VTime
 	// peers records destinations contacted through this mapping, for
-	// restricted-cone filtering.
-	peers map[netip.AddrPort]bool
+	// port-restricted filtering; peerAddrs is the address-only view the
+	// restricted-cone check consults, so the per-inbound-packet filter is
+	// a single lookup rather than a scan over every contacted endpoint.
+	peers     map[netip.AddrPort]bool
+	peerAddrs map[netip.Addr]bool
 }
 
 // NAT is network address/port translation state attached to a middlebox
@@ -142,15 +145,17 @@ func (n *NAT) process(in *Iface, pkt *Packet) *Packet {
 		}
 		if m == nil {
 			m = &natMapping{
-				key:      key,
-				external: netip.AddrPortFrom(n.external, n.allocPort()),
-				peers:    make(map[netip.AddrPort]bool),
+				key:       key,
+				external:  netip.AddrPortFrom(n.external, n.allocPort()),
+				peers:     make(map[netip.AddrPort]bool),
+				peerAddrs: make(map[netip.Addr]bool),
 			}
 			n.byKey[key] = m
 			n.byExt[m.external.Port()] = m
 		}
 		m.lastUsed = now
 		m.peers[pkt.Dst] = true
+		m.peerAddrs[pkt.Dst.Addr()] = true
 		out := *pkt
 		out.Src = m.external
 		return &out
@@ -184,12 +189,7 @@ func (n *NAT) inboundAllowed(m *natMapping, src netip.AddrPort) bool {
 	case NATFullCone:
 		return true
 	case NATRestrictedCone:
-		for peer := range m.peers {
-			if peer.Addr() == src.Addr() {
-				return true
-			}
-		}
-		return false
+		return m.peerAddrs[src.Addr()]
 	case NATPortRestricted:
 		return m.peers[src]
 	case NATSymmetric:

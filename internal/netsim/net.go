@@ -432,7 +432,8 @@ func (nd *Node) transmit(via *Iface, pkt *Packet) {
 		// original buffer is abandoned — the link cannot tell whether the
 		// sender still owns it, so it must not recycle it into the pool.
 		bad := *pkt
-		bad.Payload = append([]byte(nil), pkt.Payload...)
+		bad.Payload = GetBuf(len(pkt.Payload))
+		copy(bad.Payload, pkt.Payload)
 		bad.Payload[s.rng.Intn(len(bad.Payload))] ^= 1 << uint(s.rng.Intn(8))
 		pkt = &bad
 	}
@@ -446,8 +447,11 @@ func (nd *Node) transmit(via *Iface, pkt *Packet) {
 		dup := *pkt
 		// The duplicate needs its own payload: receivers may recycle a
 		// packet's body into the buffer pool after consuming it, and two
-		// deliveries of one backing array would double-free it.
-		dup.Payload = append([]byte(nil), pkt.Payload...)
+		// deliveries of one backing array would double-free it. A pooled
+		// copy is exactly right here — the receiver recycles it like any
+		// other body.
+		dup.Payload = GetBuf(len(pkt.Payload))
+		copy(dup.Payload, pkt.Payload)
 		s.scheduleDeliver(arrival+time.Microsecond, peer, &dup)
 	}
 	nd.net.trace(TraceTx, nd, pkt, via.addr.String())

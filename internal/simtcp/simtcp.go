@@ -105,7 +105,12 @@ type Stack struct {
 	dirty  map[*Conn]bool
 	dirtyQ []*Conn
 	debt   time.Duration          // CPU cost not yet charged
-	armed  map[*Conn]netsim.VTime // armed conn timer deadlines
+	// armed holds the per-conn timer deadlines as a flat list plus an
+	// index map: every service pass scans it for the minimum, and a
+	// slice walk beats ranging a map there (deterministic order, no
+	// iterator, cache-friendly). armedIdx gives O(1) re-arm/disarm.
+	armed    []armedConn
+	armedIdx map[*Conn]int
 
 	// Run-to-completion service state. kicked coalesces wake requests
 	// into one scheduled service pass; charging serializes passes behind
@@ -141,7 +146,7 @@ func NewStack(node *netsim.Node, fabric Fabric) *Stack {
 		listeners: make(map[uint16]*Listener),
 		nextPort:  40000,
 		dirty:     make(map[*Conn]bool),
-		armed:     make(map[*Conn]netsim.VTime),
+		armedIdx:  make(map[*Conn]int),
 	}
 	s.serviceFn = s.service
 	s.chargeDoneFn = s.chargeDone
@@ -235,18 +240,52 @@ func (s *Stack) chargeDone() {
 	s.kick()
 }
 
+// armedConn is one entry in the armed-timer list.
+type armedConn struct {
+	c  *Conn
+	at netsim.VTime
+}
+
+// arm points c's timer at deadline, updating in place when already armed.
+func (s *Stack) arm(c *Conn, at netsim.VTime) {
+	if i, ok := s.armedIdx[c]; ok {
+		s.armed[i].at = at
+		return
+	}
+	s.armedIdx[c] = len(s.armed)
+	s.armed = append(s.armed, armedConn{c: c, at: at})
+}
+
+// disarm drops c's timer entry by swap-removal, fixing the moved entry's
+// index.
+func (s *Stack) disarm(c *Conn) {
+	i, ok := s.armedIdx[c]
+	if !ok {
+		return
+	}
+	last := len(s.armed) - 1
+	if i != last {
+		s.armed[i] = s.armed[last]
+		s.armedIdx[s.armed[i].c] = i
+	}
+	s.armed = s.armed[:last]
+	delete(s.armedIdx, c)
+}
+
 // rearmTimer points the stack's timer at the earliest armed conn deadline
 // (or disarms it), dropping entries for conns that finished closing.
 func (s *Stack) rearmTimer() {
 	var next netsim.VTime
-	for c, at := range s.armed {
-		if c.closedByUser && c.inner.State() == stream.StateClosed {
-			delete(s.armed, c)
+	for i := 0; i < len(s.armed); {
+		e := s.armed[i]
+		if e.c.closedByUser && e.c.inner.State() == stream.StateClosed {
+			s.disarm(e.c) // swap-removal: re-examine index i
 			continue
 		}
-		if next == 0 || at < next {
-			next = at
+		if next == 0 || e.at < next {
+			next = e.at
 		}
+		i++
 	}
 	if next == 0 {
 		s.timer.Stop()
@@ -257,22 +296,22 @@ func (s *Stack) rearmTimer() {
 
 // timerFire runs when the earliest conn deadline passes. Due conns are
 // collected and sorted by connection key before firing, so the
-// retransmissions they queue flush in a stable order regardless of map
-// iteration.
+// retransmissions they queue flush in a stable order regardless of the
+// armed list's arm-history order.
 func (s *Stack) timerFire() {
 	if s.closed {
 		return
 	}
 	now := s.sim.Now()
 	due := s.due[:0]
-	for c, at := range s.armed {
-		if at <= now {
-			due = append(due, c)
+	for _, e := range s.armed {
+		if e.at <= now {
+			due = append(due, e.c)
 		}
 	}
 	sort.Slice(due, func(i, j int) bool { return due[i].key.less(due[j].key) })
 	for _, c := range due {
-		delete(s.armed, c)
+		s.disarm(c)
 		c.inner.OnTimer(now)
 		s.markDirty(c)
 	}
@@ -330,9 +369,9 @@ func (s *Stack) flush(c *Conn) {
 	}
 	s.debt += cost
 	if deadline > 0 {
-		s.armed[c] = deadline
+		s.arm(c, deadline)
 	} else {
-		delete(s.armed, c)
+		s.disarm(c)
 	}
 	c.signal()
 	// Garbage-collect fully closed conns.

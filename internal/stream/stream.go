@@ -373,7 +373,17 @@ func (c *Conn) payloadCopy(b []byte) []byte {
 		copy(p, b)
 		return p
 	}
-	return append([]byte(nil), b...)
+	p := make([]byte, len(b))
+	copy(p, b)
+	return p
+}
+
+// payloadFree returns a payloadCopy-derived buffer to the pool, when the
+// connection has one; pool-less configs leave it to the GC.
+func (c *Conn) payloadFree(b []byte) {
+	if c.cfg.Pool != nil {
+		c.cfg.Pool.Put(b)
+	}
 }
 
 func (c *Conn) rcvWindow() uint32 {
@@ -577,7 +587,7 @@ func (c *Conn) processPayload(seg Segment) {
 		// Future data: buffer out of order (bounded) and dup-ack.
 		if len(c.oooSegs) < 256 {
 			cp := seg
-			cp.Payload = append([]byte(nil), seg.Payload...)
+			cp.Payload = c.payloadCopy(seg.Payload)
 			c.oooSegs = append(c.oooSegs, cp)
 		}
 		c.emit(Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
@@ -601,6 +611,7 @@ func (c *Conn) processPayload(seg Segment) {
 			o := c.oooSegs[i]
 			oEnd := o.Seq + uint32(len(o.Payload))
 			if seqLE(oEnd, c.rcvNxt) {
+				c.payloadFree(o.Payload)
 				c.oooSegs = append(c.oooSegs[:i], c.oooSegs[i+1:]...)
 				progress = true
 				break
@@ -614,6 +625,7 @@ func (c *Conn) processPayload(seg Segment) {
 				c.rcvBuf = append(c.rcvBuf, d...)
 				c.rcvNxt += uint32(len(d))
 				c.BytesRcvd += uint64(len(d))
+				c.payloadFree(o.Payload)
 				c.oooSegs = append(c.oooSegs[:i], c.oooSegs[i+1:]...)
 				progress = true
 				break
