@@ -105,10 +105,12 @@ storm-smoke:
 
 # Regenerate the tracked benchmark snapshots: BENCH_SIM.json (scheduler
 # microbench latencies plus fig2/chaos short-run wall clock, against the
-# recorded pre-rewrite baseline) and BENCH_CONTROL.json (the full-scale
+# recorded pre-rewrite baseline), BENCH_CONTROL.json (the full-scale
 # storm experiment: re-contact latency, recovery time, shed and
-# retransmit counts per transport tier). Commit the refreshed files when
-# the numbers move for a reason. Each snapshot is written to a temp
+# retransmit counts per transport tier) and BENCH_DATAPLANE.json (ESP
+# seal/open GB/s per cipher suite plus real-UDP localhost goodput and
+# syscalls-per-packet, batching on vs off). Commit the refreshed files
+# when the numbers move for a reason. Each snapshot is written to a temp
 # file and renamed into place, so an interrupted or failing run can
 # never leave a truncated tracked file behind.
 bench:
@@ -118,6 +120,9 @@ bench:
 	$(GO) run ./cmd/benchcloud -run storm -json > BENCH_CONTROL.json.tmp
 	mv BENCH_CONTROL.json.tmp BENCH_CONTROL.json
 	@cat BENCH_CONTROL.json
+	$(GO) run ./cmd/benchcloud -run dataplane -json > BENCH_DATAPLANE.json.tmp
+	mv BENCH_DATAPLANE.json.tmp BENCH_DATAPLANE.json
+	@cat BENCH_DATAPLANE.json
 
 # Full Go benchmark sweep, including the paper-figure reproductions.
 bench-full:

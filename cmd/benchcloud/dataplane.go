@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"runtime"
+	"time"
+
+	"hipcloud/internal/esp"
+	"hipcloud/internal/hip"
+	"hipcloud/internal/hipudp"
+	"hipcloud/internal/identity"
+	"hipcloud/internal/keymat"
+)
+
+// dataplanePayload is the packet size every dataplane number is quoted
+// at — the same 1400-byte near-MTU payload the esp benchmarks use.
+const dataplanePayload = 1400
+
+// dataplaneSuiteNumbers is one crypto row of BENCH_DATAPLANE.json.
+type dataplaneSuiteNumbers struct {
+	Suite string `json:"suite"`
+	// SealGBps/OpenGBps are single-core steady-state throughput of the
+	// zero-copy SealAppend/OpenAppend paths over 1400-byte payloads.
+	SealGBps float64 `json:"seal_gb_per_s"`
+	OpenGBps float64 `json:"open_gb_per_s"`
+	// SealNsPerPkt is the per-packet latency view of the same number.
+	SealNsPerPkt float64 `json:"seal_ns_per_pkt"`
+}
+
+// dataplaneUDPNumbers is one socket-engine row of BENCH_DATAPLANE.json:
+// a localhost hipudp stream transfer with the engine configured on or
+// off, plus the syscall amortization the engine achieved.
+type dataplaneUDPNumbers struct {
+	Batching bool `json:"batching"`
+	// GoodputMbps is application payload bits per wall-clock second for
+	// a one-way localhost stream transfer (full HIP/ESP framing).
+	GoodputMbps float64 `json:"goodput_mbit_per_s"`
+	// TxSyscallsPerPkt / RxSyscallsPerPkt are the dialer's send/receive
+	// syscalls divided by datagrams moved; < 1.0 means mmsg batching is
+	// coalescing, == 1.0 is the classic one-syscall-per-packet driver.
+	TxSyscallsPerPkt float64 `json:"tx_syscalls_per_pkt"`
+	RxSyscallsPerPkt float64 `json:"rx_syscalls_per_pkt"`
+	TxPackets        uint64  `json:"tx_packets"`
+}
+
+// dataplaneReport is the BENCH_DATAPLANE.json document.
+type dataplaneReport struct {
+	GeneratedBy  string                  `json:"generated_by"`
+	GoVersion    string                  `json:"go_version"`
+	PayloadBytes int                     `json:"payload_bytes"`
+	VectoredIO   bool                    `json:"vectored_io"`
+	Suites       []dataplaneSuiteNumbers `json:"suites"`
+	UDP          []dataplaneUDPNumbers   `json:"udp_localhost"`
+}
+
+// dataplaneSuites are the suites the report tracks: the paper-era pair,
+// then the modern AEAD set the negotiation prefers.
+var dataplaneSuites = []keymat.Suite{
+	keymat.SuiteAESCTRSHA256,
+	keymat.SuiteAESCBCSHA256,
+	keymat.SuiteAESGCM128,
+	keymat.SuiteAESGCM256,
+	keymat.SuiteChaCha20Poly1305,
+}
+
+// benchSuite measures SealAppend and OpenAppend throughput for one
+// suite. Open works over a pre-sealed ring of packets re-opened through
+// fresh inbound SAs, so the replay window never interferes.
+func benchSuite(s keymat.Suite, measure time.Duration) (dataplaneSuiteNumbers, error) {
+	encLen, err := s.EncKeyLen()
+	if err != nil {
+		return dataplaneSuiteNumbers{}, err
+	}
+	authLen, err := s.AuthKeyLen()
+	if err != nil {
+		return dataplaneSuiteNumbers{}, err
+	}
+	encKey := bytes.Repeat([]byte{0x17}, encLen)
+	authKey := bytes.Repeat([]byte{0x2B}, authLen)
+	out, err := esp.NewOutbound(1, s, encKey, authKey)
+	if err != nil {
+		return dataplaneSuiteNumbers{}, err
+	}
+	payload := bytes.Repeat([]byte{0x5A}, dataplanePayload)
+	dst := make([]byte, 0, out.SealedLen(dataplanePayload))
+
+	// Seal throughput.
+	var sealOps int
+	start := time.Now()
+	for time.Since(start) < measure {
+		for i := 0; i < 256; i++ {
+			dst, err = out.SealAppend(dst[:0], payload)
+			if err != nil {
+				return dataplaneSuiteNumbers{}, err
+			}
+		}
+		sealOps += 256
+	}
+	sealDur := time.Since(start)
+
+	// Open throughput: seal a ring of packets once, then re-open it
+	// through fresh inbound SAs (one NewInbound per 1024 opens is noise).
+	ringOut, err := esp.NewOutbound(2, s, encKey, authKey)
+	if err != nil {
+		return dataplaneSuiteNumbers{}, err
+	}
+	const ring = 1024
+	pkts := make([][]byte, ring)
+	for i := range pkts {
+		pkts[i], err = ringOut.Seal(payload)
+		if err != nil {
+			return dataplaneSuiteNumbers{}, err
+		}
+	}
+	open := make([]byte, 0, dataplanePayload+64)
+	var openOps int
+	start = time.Now()
+	for time.Since(start) < measure {
+		in, err := esp.NewInbound(2, s, encKey, authKey)
+		if err != nil {
+			return dataplaneSuiteNumbers{}, err
+		}
+		for _, pkt := range pkts {
+			open, err = in.OpenAppend(open[:0], pkt)
+			if err != nil {
+				return dataplaneSuiteNumbers{}, err
+			}
+		}
+		openOps += ring
+	}
+	openDur := time.Since(start)
+
+	gbps := func(ops int, d time.Duration) float64 {
+		return float64(ops) * dataplanePayload / d.Seconds() / 1e9
+	}
+	return dataplaneSuiteNumbers{
+		Suite:        s.String(),
+		SealGBps:     round3(gbps(sealOps, sealDur)),
+		OpenGBps:     round3(gbps(openOps, openDur)),
+		SealNsPerPkt: round3(float64(sealDur.Nanoseconds()) / float64(sealOps)),
+	}, nil
+}
+
+// benchUDP runs a one-way localhost stream transfer between two fresh
+// stacks and reports goodput plus the dialer's syscall amortization.
+func benchUDP(opts hipudp.Options, totalBytes int) (dataplaneUDPNumbers, error) {
+	idI := identity.MustGenerate(identity.AlgECDSA)
+	idR := identity.MustGenerate(identity.AlgECDSA)
+	mk := func(id *identity.HostIdentity) (*hipudp.Stack, error) {
+		h, err := hip.NewHost(hip.Config{Identity: id, Locator: netip.MustParseAddr("127.0.0.1")})
+		if err != nil {
+			return nil, err
+		}
+		return hipudp.NewStackOpts(h, "127.0.0.1:0", opts)
+	}
+	a, err := mk(idI)
+	if err != nil {
+		return dataplaneUDPNumbers{}, err
+	}
+	defer a.Close()
+	b, err := mk(idR)
+	if err != nil {
+		return dataplaneUDPNumbers{}, err
+	}
+	defer b.Close()
+	epA := netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), uint16(a.LocalAddr().Port))
+	epB := netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), uint16(b.LocalAddr().Port))
+	a.AddPeer(idR.HIT(), epB)
+	b.AddPeer(idI.HIT(), epA)
+
+	l, err := b.Listen(5001)
+	if err != nil {
+		return dataplaneUDPNumbers{}, err
+	}
+	// Sink: drain the stream, then echo one byte so the sender knows
+	// every payload byte was delivered (not just buffered).
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64*1024)
+		for n := 0; n < totalBytes; {
+			rn, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			n += rn
+		}
+		c.Write([]byte{1})
+	}()
+
+	c, err := a.Dial(idR.HIT(), 5001, 10*time.Second)
+	if err != nil {
+		return dataplaneUDPNumbers{}, err
+	}
+	defer c.Close()
+	msg := make([]byte, 16*1024)
+	start := time.Now()
+	for n := 0; n < totalBytes; n += len(msg) {
+		if _, err := c.Write(msg); err != nil {
+			return dataplaneUDPNumbers{}, err
+		}
+	}
+	ack := make([]byte, 1)
+	if _, err := c.Read(ack); err != nil {
+		return dataplaneUDPNumbers{}, err
+	}
+	elapsed := time.Since(start)
+
+	st := a.Stats()
+	perPkt := func(sys, pkts uint64) float64 {
+		if pkts == 0 {
+			return 0
+		}
+		return round3(float64(sys) / float64(pkts))
+	}
+	return dataplaneUDPNumbers{
+		Batching:         opts.TxShards > 0 || opts.RxBatch > 1,
+		GoodputMbps:      round3(float64(totalBytes) * 8 / elapsed.Seconds() / 1e6),
+		TxSyscallsPerPkt: perPkt(st.TxSyscalls, st.TxPackets+st.TxErrors),
+		RxSyscallsPerPkt: perPkt(st.RxSyscalls, st.RxPackets),
+		TxPackets:        st.TxPackets,
+	}, nil
+}
+
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+
+// runDataplaneBench produces the BENCH_DATAPLANE.json document (or a
+// human-readable table without -json).
+func runDataplaneBench(jsonOut bool) {
+	rep := dataplaneReport{
+		GeneratedBy:  "benchcloud -run dataplane",
+		GoVersion:    runtime.Version(),
+		PayloadBytes: dataplanePayload,
+		VectoredIO:   hipudp.VectoredIO(),
+	}
+	for _, s := range dataplaneSuites {
+		row, err := benchSuite(s, 300*time.Millisecond)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dataplane:", err)
+			os.Exit(1)
+		}
+		rep.Suites = append(rep.Suites, row)
+	}
+	const transfer = 8 << 20
+	for _, opts := range []hipudp.Options{{}, hipudp.DefaultOptions()} {
+		row, err := benchUDP(opts, transfer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dataplane udp:", err)
+			os.Exit(1)
+		}
+		rep.UDP = append(rep.UDP, row)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Printf("ESP data plane, %d-byte payloads (single core):\n", dataplanePayload)
+	fmt.Printf("  %-22s %12s %12s %14s\n", "suite", "seal GB/s", "open GB/s", "seal ns/pkt")
+	for _, r := range rep.Suites {
+		fmt.Printf("  %-22s %12.3f %12.3f %14.1f\n", r.Suite, r.SealGBps, r.OpenGBps, r.SealNsPerPkt)
+	}
+	fmt.Printf("hipudp localhost stream, %d MiB transfer (vectored I/O compiled: %v):\n",
+		transfer>>20, rep.VectoredIO)
+	fmt.Printf("  %-10s %14s %18s %18s\n", "batching", "goodput Mb/s", "tx syscalls/pkt", "rx syscalls/pkt")
+	for _, r := range rep.UDP {
+		fmt.Printf("  %-10v %14.1f %18.3f %18.3f\n", r.Batching, r.GoodputMbps, r.TxSyscallsPerPkt, r.RxSyscallsPerPkt)
+	}
+}

@@ -13,6 +13,10 @@
 //	benchcloud -run all       everything above
 //	benchcloud -run simbench  scheduler throughput + experiment wall clock
 //	                          (not part of `all`; -json emits BENCH_SIM.json)
+//	benchcloud -run dataplane ESP seal/open throughput per cipher suite +
+//	                          real-UDP localhost goodput and syscall
+//	                          amortization (not part of `all`; -json emits
+//	                          BENCH_DATAPLANE.json)
 //
 // Durations are virtual time; -short trims them for quick runs.
 // -cpuprofile writes a pprof CPU profile covering the selected runs.
@@ -28,14 +32,16 @@ import (
 
 	"hipcloud/internal/cloud"
 	"hipcloud/internal/experiments"
+	"hipcloud/internal/keymat"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: fig2|rtt|fig3|private|bex|dos|chaos|storm|simbench|all")
+	run := flag.String("run", "all", "experiment: fig2|rtt|fig3|private|bex|dos|chaos|storm|simbench|dataplane|all")
 	short := flag.Bool("short", false, "shorter virtual durations")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	jsonOut := flag.Bool("json", false, "simbench/storm: emit the BENCH_SIM.json / BENCH_CONTROL.json document on stdout")
+	jsonOut := flag.Bool("json", false, "simbench/storm/dataplane: emit the BENCH_SIM.json / BENCH_CONTROL.json / BENCH_DATAPLANE.json document on stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	modern := flag.Bool("modern", false, "fig3: negotiate the modern AEAD HIP_CIPHER set (keymat.PreferredAEAD) instead of the 2012 transforms")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -74,7 +80,11 @@ func main() {
 	}
 	if want("fig3") {
 		ran = true
-		_, tbl, err := experiments.RunFig3(experiments.Fig3Config{Seed: *seed})
+		var suites []keymat.Suite
+		if *modern {
+			suites = keymat.PreferredAEAD
+		}
+		_, tbl, err := experiments.RunFig3(experiments.Fig3Config{Seed: *seed, Suites: suites})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fig3:", err)
 			os.Exit(1)
@@ -130,6 +140,10 @@ func main() {
 	if strings.Contains(*run, "simbench") {
 		ran = true
 		runSimBench(*seed, *jsonOut)
+	}
+	if strings.Contains(*run, "dataplane") {
+		ran = true
+		runDataplaneBench(*jsonOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)

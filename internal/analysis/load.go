@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -12,6 +13,16 @@ import (
 	"sort"
 	"strings"
 )
+
+// buildMatch reports whether a .go file participates in the build for
+// the host GOOS/GOARCH. go/build honors //go:build lines and the
+// _linux/_amd64 filename conventions, so platform-split packages (e.g.
+// the hipudp sendmmsg shim with per-arch syscall tables) type-check as
+// the compiler would build them instead of as a redeclaration soup.
+func buildMatch(dir, name string) bool {
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
+}
 
 // Package is one loaded, parsed and type-checked package.
 type Package struct {
@@ -172,7 +183,8 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range ents {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			buildMatch(dir, name) {
 			return true
 		}
 	}
@@ -202,6 +214,9 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !buildMatch(abs, name) {
 			continue
 		}
 		names = append(names, name)

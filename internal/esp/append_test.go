@@ -194,7 +194,10 @@ func TestForgedICVDoesNotAdvanceWindow(t *testing.T) {
 // Alloc-regression guards: the append APIs must be allocation-free on the
 // CTR and NULL fast paths once the destination buffer is warm.
 func TestSealAppendZeroAlloc(t *testing.T) {
-	for _, s := range []keymat.Suite{keymat.SuiteAESCTRSHA256, keymat.SuiteNullSHA256} {
+	for _, s := range []keymat.Suite{
+		keymat.SuiteAESCTRSHA256, keymat.SuiteNullSHA256,
+		keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305,
+	} {
 		pi, _ := pairFor(t, s)
 		payload := bytes.Repeat([]byte{7}, 1400)
 		dst := make([]byte, 0, pi.Out.SealedLen(len(payload)))
@@ -213,7 +216,10 @@ func TestSealAppendZeroAlloc(t *testing.T) {
 
 func TestOpenAppendZeroAlloc(t *testing.T) {
 	const runs = 200
-	for _, s := range []keymat.Suite{keymat.SuiteAESCTRSHA256, keymat.SuiteNullSHA256} {
+	for _, s := range []keymat.Suite{
+		keymat.SuiteAESCTRSHA256, keymat.SuiteNullSHA256,
+		keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305,
+	} {
 		pi, pr := pairFor(t, s)
 		payload := bytes.Repeat([]byte{7}, 1400)
 		// AllocsPerRun invokes the function runs+1 times (one warmup) and
@@ -321,8 +327,19 @@ func BenchmarkSealAppendCTR1400(b *testing.B)  { benchSealAppend(b, keymat.Suite
 func BenchmarkSealAppendCBC1400(b *testing.B)  { benchSealAppend(b, keymat.SuiteAESCBCSHA256) }
 func BenchmarkSealAppendNull1400(b *testing.B) { benchSealAppend(b, keymat.SuiteNullSHA256) }
 
+func BenchmarkSealAppendGCM128_1400(b *testing.B) { benchSealAppend(b, keymat.SuiteAESGCM128) }
+func BenchmarkSealAppendGCM256_1400(b *testing.B) { benchSealAppend(b, keymat.SuiteAESGCM256) }
+func BenchmarkSealAppendChaCha1400(b *testing.B) {
+	benchSealAppend(b, keymat.SuiteChaCha20Poly1305)
+}
+
 func BenchmarkOpenCTR1400(b *testing.B)  { benchOpen(b, keymat.SuiteAESCTRSHA256) }
 func BenchmarkOpenNull1400(b *testing.B) { benchOpen(b, keymat.SuiteNullSHA256) }
 
 func BenchmarkOpenAppendCTR1400(b *testing.B)  { benchOpenAppend(b, keymat.SuiteAESCTRSHA256) }
 func BenchmarkOpenAppendNull1400(b *testing.B) { benchOpenAppend(b, keymat.SuiteNullSHA256) }
+
+func BenchmarkOpenAppendGCM128_1400(b *testing.B) { benchOpenAppend(b, keymat.SuiteAESGCM128) }
+func BenchmarkOpenAppendChaCha1400(b *testing.B) {
+	benchOpenAppend(b, keymat.SuiteChaCha20Poly1305)
+}

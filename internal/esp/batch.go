@@ -1,0 +1,50 @@
+package esp
+
+// Batch seal/open: the per-datagram unit the batched UDP driver
+// (internal/hipudp) feeds to sendmmsg/recvmmsg. Each element seals or
+// opens exactly as the Append forms do — batch output is byte-identical
+// to a sequential loop — but the batch carries the whole burst through
+// one call so the driver can turn N packets into one syscall.
+
+// SealBatch seals payloads[i] appending to dsts[i] (which may be nil or
+// carry a reusable backing array, exactly like SealAppend's dst) and
+// stores the extended slice back into dsts[i]. It requires
+// len(dsts) >= len(payloads) and returns the number of packets sealed.
+// Sealing stops at the first failure (sequence exhaustion); the n
+// packets already produced are valid to transmit, and dsts[n:] are
+// untouched.
+func (sa *OutboundSA) SealBatch(dsts [][]byte, payloads [][]byte) (int, error) {
+	if len(dsts) < len(payloads) {
+		return 0, ErrShort
+	}
+	for i, p := range payloads {
+		d, err := sa.SealAppend(dsts[i], p)
+		if err != nil {
+			return i, err
+		}
+		dsts[i] = d
+	}
+	return len(payloads), nil
+}
+
+// OpenBatch opens pkts[i] appending the recovered payload to dsts[i]
+// and storing the extended slice back. A packet that fails (truncated,
+// bad tag, replay) leaves its dsts slot untouched and does not stop the
+// batch — one corrupt datagram in a recvmmsg burst must not stall the
+// rest. It requires len(dsts) >= len(pkts); the return value counts the
+// packets that failed (the SA's Replays/AuthFails counters break the
+// drops down by cause).
+func (sa *InboundSA) OpenBatch(dsts [][]byte, pkts [][]byte) (drops int) {
+	if len(dsts) < len(pkts) {
+		return len(pkts)
+	}
+	for i, p := range pkts {
+		d, err := sa.OpenAppend(dsts[i], p)
+		if err != nil {
+			drops++
+			continue
+		}
+		dsts[i] = d
+	}
+	return drops
+}

@@ -4,9 +4,15 @@
 // number, payload, padding and ICV travel on the wire — the
 // bandwidth-efficiency property the paper highlights over tunnel mode.
 //
-// Supported transforms come from hipcloud/internal/keymat: AES-128-CTR and
-// AES-128-CBC with HMAC-SHA-256-128 integrity, plus a NULL cipher for
-// integrity-only operation.
+// Supported transforms come from hipcloud/internal/keymat: the 2012
+// suites (AES-128-CTR and AES-128-CBC with HMAC-SHA-256-128 integrity,
+// plus a NULL cipher for integrity-only operation) and the modern
+// single-pass AEAD suites (AES-128/256-GCM, ChaCha20-Poly1305). AEAD
+// packets carry no wire IV: the nonce is implicit — salt(4) || 0(4) ||
+// seq(4), RFC 8750 style — with the salt drawn from KEYMAT per key
+// generation, the 8-byte ESP header authenticated as AAD, and the
+// 16-byte tag in the ICV slot. Combined with the sequence-exhaustion
+// refusal in SealAppend, a (key, nonce) pair can never repeat.
 //
 // # Zero-allocation fast path
 //
@@ -99,13 +105,22 @@ type OutboundSA struct {
 	encKey []byte
 	block  cipher.Block
 	seq    uint32
-	// mac is the cached keyed HMAC state, reset-reused per packet.
+	// mac is the cached keyed HMAC state, reset-reused per packet
+	// (legacy suites only; nil for AEAD).
 	mac *keymat.MAC
 	// ctr is per-SA CTR scratch so keystream blocks stay off the heap.
 	ctr keymat.CTRScratch
 	// cbc is the cached CBC encrypter when the cipher supports SetIV.
-	cbc     cipher.BlockMode
-	ivs     ivScratch
+	cbc cipher.BlockMode
+	ivs ivScratch
+	// aead is the single-pass transform for the modern suites; nil for
+	// the legacy HMAC suites. nonce is the per-SA implicit-IV scratch:
+	// salt(4) || zero(4) || seq(4), the seq field rewritten per packet.
+	// Keeping it in the (heap-resident) SA rather than on the call
+	// stack lets the nonce pointer cross the AEAD interface without a
+	// per-packet escape.
+	aead    keymat.AEAD
+	nonce   [keymat.NonceLen]byte
 	Packets uint64
 	Bytes   uint64
 }
@@ -120,6 +135,8 @@ type InboundSA struct {
 	ctr    keymat.CTRScratch
 	cbc    cipher.BlockMode
 	ivs    ivScratch
+	aead   keymat.AEAD
+	nonce  [keymat.NonceLen]byte
 	// Anti-replay state: highest sequence seen and a bitmap of the
 	// ReplayWindow sequences at and below it.
 	highest   uint32
@@ -130,11 +147,14 @@ type InboundSA struct {
 	AuthFails uint64
 }
 
-// NewOutbound creates the sending half of an SA.
+// NewOutbound creates the sending half of an SA. For the legacy suites
+// authKey is the 32-byte HMAC key; for AEAD suites it is the 4-byte
+// implicit-IV salt drawn through the same KEYMAT slot.
 func NewOutbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*OutboundSA, error) {
-	sa := &OutboundSA{SPI: spi, suite: suite, encKey: encKey, mac: keymat.NewMAC(authKey)}
+	sa := &OutboundSA{SPI: spi, suite: suite, encKey: encKey}
 	switch suite {
 	case keymat.SuiteAESCBCSHA256, keymat.SuiteAESCTRSHA256:
+		sa.mac = keymat.NewMAC(authKey)
 		b, err := aes.NewCipher(encKey)
 		if err != nil {
 			return nil, err
@@ -147,17 +167,30 @@ func NewOutbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*Outbo
 			}
 		}
 	case keymat.SuiteNullSHA256:
+		sa.mac = keymat.NewMAC(authKey)
+	case keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305:
+		if len(authKey) != keymat.SaltLen {
+			return nil, keymat.ErrUnknownSuite
+		}
+		a, err := keymat.NewAEADCipher(suite, encKey)
+		if err != nil {
+			return nil, err
+		}
+		sa.aead = a
+		copy(sa.nonce[:keymat.SaltLen], authKey)
 	default:
 		return nil, keymat.ErrUnknownSuite
 	}
 	return sa, nil
 }
 
-// NewInbound creates the receiving half of an SA.
+// NewInbound creates the receiving half of an SA; authKey follows the
+// NewOutbound convention (HMAC key for legacy, 4-byte salt for AEAD).
 func NewInbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*InboundSA, error) {
-	sa := &InboundSA{SPI: spi, suite: suite, encKey: encKey, mac: keymat.NewMAC(authKey)}
+	sa := &InboundSA{SPI: spi, suite: suite, encKey: encKey}
 	switch suite {
 	case keymat.SuiteAESCBCSHA256, keymat.SuiteAESCTRSHA256:
+		sa.mac = keymat.NewMAC(authKey)
 		b, err := aes.NewCipher(encKey)
 		if err != nil {
 			return nil, err
@@ -170,6 +203,17 @@ func NewInbound(spi uint32, suite keymat.Suite, encKey, authKey []byte) (*Inboun
 			}
 		}
 	case keymat.SuiteNullSHA256:
+		sa.mac = keymat.NewMAC(authKey)
+	case keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305:
+		if len(authKey) != keymat.SaltLen {
+			return nil, keymat.ErrUnknownSuite
+		}
+		a, err := keymat.NewAEADCipher(suite, encKey)
+		if err != nil {
+			return nil, err
+		}
+		sa.aead = a
+		copy(sa.nonce[:keymat.SaltLen], authKey)
 	default:
 		return nil, keymat.ErrUnknownSuite
 	}
@@ -204,6 +248,11 @@ func bodyLen(s keymat.Suite, n int) int {
 			padLen = 0
 		}
 		return aes.BlockSize + n + padLen + 2
+	case keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305:
+		// No IV on the wire (implicit from seq), no padding (stream
+		// AEAD): ciphertext of payload + 2-byte trailer. The tag lands
+		// in the ICV slot (keymat.TagLen == ICVLen).
+		return n + 2
 	}
 	return 0
 }
@@ -233,6 +282,11 @@ func ensure(b []byte, n int) (grown, region []byte) {
 // capacity already fits the packet, the CTR and NULL suites allocate
 // nothing. payload and dst must not overlap.
 func (sa *OutboundSA) SealAppend(dst, payload []byte) ([]byte, error) {
+	// The saturation refusal is what makes implicit-IV AEAD safe even if
+	// a rekey stalls: the final sequence number 2^32-1 is used at most
+	// once and the counter never wraps, so a (key, nonce) pair can never
+	// repeat within one SA (see hip.rekeyThreshold for the headroom that
+	// normally rekeys long before this hard stop).
 	if sa.seq == ^uint32(0) {
 		return nil, ErrSeqExhausted
 	}
@@ -244,6 +298,22 @@ func (sa *OutboundSA) SealAppend(dst, payload []byte) ([]byte, error) {
 	dst, pkt := ensure(dst, HeaderLen+bl+ICVLen)
 	binary.BigEndian.PutUint32(pkt[0:], sa.SPI)
 	binary.BigEndian.PutUint32(pkt[4:], sa.seq)
+	if sa.aead != nil {
+		// Single-pass fast path: build the plaintext body (payload +
+		// trailer) in place, then seal it in place — ciphertext
+		// overwrites the body and the tag fills the ICV slot. AAD is
+		// the 8-byte ESP header, so SPI and seq are bound without an
+		// HMAC pass; the nonce is salt || 0 || seq (RFC 8750 style).
+		pt := pkt[HeaderLen : HeaderLen+bl]
+		copy(pt, payload)
+		pt[bl-2] = 0
+		pt[bl-1] = nextHeader
+		binary.BigEndian.PutUint32(sa.nonce[8:], sa.seq)
+		sa.aead.Seal(pt[:0], &sa.nonce, pt, pkt[:HeaderLen])
+		sa.Packets++
+		sa.Bytes += uint64(len(payload))
+		return dst, nil
+	}
 	body := pkt[HeaderLen : HeaderLen+bl]
 	switch sa.suite {
 	case keymat.SuiteNullSHA256:
@@ -314,6 +384,37 @@ func (sa *InboundSA) OpenAppend(dst, pkt []byte) ([]byte, error) {
 		return nil, ErrReplay
 	}
 	body := pkt[HeaderLen : len(pkt)-ICVLen]
+	if sa.aead != nil {
+		// Single-pass verify+decrypt: tag covers header (as AAD) and
+		// ciphertext, checked before any plaintext is accepted. On
+		// failure dst is returned untouched at its original length.
+		if len(body) < 2 {
+			return nil, ErrShort
+		}
+		binary.BigEndian.PutUint32(sa.nonce[8:], seq)
+		var region []byte
+		dst, region = ensure(dst, len(body))
+		pt, err := sa.aead.Open(region[:0], &sa.nonce, pkt[HeaderLen:], pkt[:HeaderLen])
+		if err != nil {
+			sa.AuthFails++
+			return nil, ErrAuth
+		}
+		padLen := int(pt[len(pt)-2])
+		n := len(pt) - 2 - padLen
+		if n < 0 {
+			return nil, ErrPad
+		}
+		for i := 0; i < padLen; i++ {
+			if pt[n+i] != byte(i+1) {
+				return nil, ErrPad
+			}
+		}
+		dst = dst[:len(dst)-len(pt)+n]
+		sa.replayAdvance(seq)
+		sa.Packets++
+		sa.Bytes += uint64(n)
+		return dst, nil
+	}
 	icv := pkt[len(pkt)-ICVLen:]
 	sa.mac.Reset()
 	sa.mac.Write(pkt[:len(pkt)-ICVLen])
@@ -466,6 +567,11 @@ func (sa *OutboundSA) Zeroize() {
 		sa.mac.Zeroize()
 		sa.mac = nil
 	}
+	if sa.aead != nil {
+		sa.aead.Zeroize()
+		sa.aead = nil
+	}
+	sa.nonce = [keymat.NonceLen]byte{}
 }
 
 // Zeroize wipes the inbound SA's key material; see OutboundSA.Zeroize.
@@ -480,6 +586,11 @@ func (sa *InboundSA) Zeroize() {
 		sa.mac.Zeroize()
 		sa.mac = nil
 	}
+	if sa.aead != nil {
+		sa.aead.Zeroize()
+		sa.aead = nil
+	}
+	sa.nonce = [keymat.NonceLen]byte{}
 }
 
 // Zeroize retires both SAs of the pair. Nil-safe: rekey and teardown
@@ -502,6 +613,8 @@ func Overhead(s keymat.Suite) int {
 		return HeaderLen + 8 + 2 + ICVLen
 	case keymat.SuiteAESCBCSHA256:
 		return HeaderLen + 16 + 2 + 15 + ICVLen // worst-case padding
+	case keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305:
+		return HeaderLen + 2 + ICVLen // trailer + tag, no wire IV
 	}
 	return HeaderLen + ICVLen
 }

@@ -13,6 +13,16 @@ var suites = []keymat.Suite{
 	keymat.SuiteAESCTRSHA256,
 	keymat.SuiteAESCBCSHA256,
 	keymat.SuiteNullSHA256,
+	keymat.SuiteAESGCM128,
+	keymat.SuiteAESGCM256,
+	keymat.SuiteChaCha20Poly1305,
+}
+
+// aeadSuites is the modern single-pass subset of suites.
+var aeadSuites = []keymat.Suite{
+	keymat.SuiteAESGCM128,
+	keymat.SuiteAESGCM256,
+	keymat.SuiteChaCha20Poly1305,
 }
 
 // pairFor builds matched initiator/responder SA pairs for a suite.

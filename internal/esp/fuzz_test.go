@@ -40,23 +40,39 @@ func FuzzOpen(f *testing.F) {
 		f.Add(append([]byte(nil), good[:cut]...))
 	}
 	// Valid packets from the other suites (wrong SPI/keys here, but they
-	// exercise suite-specific length arithmetic in the parser).
-	for _, s := range []keymat.Suite{keymat.SuiteAESCBCSHA256, keymat.SuiteNullSHA256} {
+	// exercise suite-specific length arithmetic in the parser), the AEAD
+	// suites included: their no-wire-IV bodies hit different boundaries.
+	for _, s := range []keymat.Suite{
+		keymat.SuiteAESCBCSHA256, keymat.SuiteNullSHA256,
+		keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305,
+	} {
 		oak, _ := fuzzKeys(s)
 		o, _ := NewOutbound(200, oak.Suite, oak.ESPEncOut, oak.ESPAuthOut)
 		p, _ := o.Seal([]byte("other suite"))
 		f.Add(p)
 		f.Add(append([]byte(nil), p[:len(p)-1]...))
+		// Truncation inside the tag and a tag-only body.
+		f.Add(append([]byte(nil), p[:len(p)-ICVLen/2]...))
+		f.Add(append([]byte(nil), p[:HeaderLen+ICVLen]...))
 	}
 	// Header present, degenerate bodies.
 	hdr := append([]byte(nil), good[:HeaderLen]...)
 	f.Add(append(append([]byte(nil), hdr...), bytes.Repeat([]byte{0}, ICVLen)...))
 	f.Add(append(append([]byte(nil), hdr...), bytes.Repeat([]byte{0}, ICVLen+1)...))
+	// The AEAD parser path gets its own receiver: the corpus's GCM-128
+	// seeds were sealed under the same deterministic keys, so the only
+	// payload it may ever accept is that seed's.
+	_, abk := fuzzKeys(keymat.SuiteAESGCM128)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		in, _ := NewInbound(200, bk.Suite, bk.ESPEncIn, bk.ESPAuthIn)
 		payload, err := in.Open(data)
 		if err == nil && string(payload) != "seed packet" {
 			t.Fatalf("inbound SA accepted forged packet: %q", payload)
+		}
+		ain, _ := NewInbound(200, abk.Suite, abk.ESPEncIn, abk.ESPAuthIn)
+		apayload, err := ain.Open(data)
+		if err == nil && string(apayload) != "other suite" {
+			t.Fatalf("AEAD inbound SA accepted forged packet: %q", apayload)
 		}
 	})
 }
@@ -74,6 +90,7 @@ func FuzzSealOpenRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, payload []byte, prefixLen uint8) {
 		for _, s := range []keymat.Suite{
 			keymat.SuiteAESCTRSHA256, keymat.SuiteAESCBCSHA256, keymat.SuiteNullSHA256,
+			keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305,
 		} {
 			ak, bk := fuzzKeys(s)
 			out, err := NewOutbound(200, ak.Suite, ak.ESPEncOut, ak.ESPAuthOut)

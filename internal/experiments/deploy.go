@@ -15,6 +15,7 @@ import (
 	"hipcloud/internal/hip"
 	"hipcloud/internal/hipsim"
 	"hipcloud/internal/identity"
+	"hipcloud/internal/keymat"
 	"hipcloud/internal/netsim"
 	"hipcloud/internal/proxy"
 	"hipcloud/internal/rubis"
@@ -64,6 +65,11 @@ type DeployConfig struct {
 	Zones int
 	// HealthInterval enables the LB's periodic backend health probes.
 	HealthInterval time.Duration
+	// TLSSuites selects the tlslite record suites for SSL deployments.
+	// Nil keeps the legacy AES-CTR channel and byte-identical wire
+	// traffic (the committed goldens); tlslite.PreferredSuites runs the
+	// same experiments on the modern AEAD record layer.
+	TLSSuites []keymat.Suite
 }
 
 func (c *DeployConfig) fill() {
@@ -133,8 +139,9 @@ func Deploy(cfg DeployConfig) *Deployment {
 			id := identity.MustGenerateDeterministic(alg, fmt.Sprintf("deploy/%d/%s", cfg.Seed, node.Name()))
 			return &secio.Transport{
 				Kind: secio.SSL, Identity: id, Costs: cloud.TLSCosts(cfg.UseRSA),
-				Stack: simtcp.NewStack(node, simtcp.NewPlainFabric(node)),
-				Rand:  s.Rand(),
+				Stack:     simtcp.NewStack(node, simtcp.NewPlainFabric(node)),
+				Rand:      s.Rand(),
+				TLSSuites: cfg.TLSSuites,
 			}, node.Addr(), nil
 		default:
 			return &secio.Transport{
@@ -190,7 +197,8 @@ func Deploy(cfg DeployConfig) *Deployment {
 		case secio.SSL:
 			back = &secio.Transport{
 				Kind: secio.SSL, Stack: front.Stack, Costs: cloud.TLSCosts(cfg.UseRSA),
-				Rand: s.Rand(),
+				Rand:      s.Rand(),
+				TLSSuites: cfg.TLSSuites,
 			}
 		case secio.HIP:
 			back, _, _ = mk(lbNode)

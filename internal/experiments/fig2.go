@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"hipcloud/internal/cloud"
+	"hipcloud/internal/keymat"
 	"hipcloud/internal/metrics"
 	"hipcloud/internal/rubis"
 	"hipcloud/internal/secio"
@@ -29,6 +30,9 @@ type Fig2Config struct {
 	Warmup   time.Duration // default 3s
 	Clients  []int
 	Seed     int64
+	// TLSSuites runs the ssl column on an explicit tlslite suite list
+	// (nil = the paper-era legacy channel).
+	TLSSuites []keymat.Suite
 }
 
 func (c *Fig2Config) fill() {
@@ -56,13 +60,14 @@ func (c *Fig2Config) fill() {
 func RunFig2Point(cfg Fig2Config, kind secio.Kind, clients int) Fig2Point {
 	cfg.fill()
 	d := Deploy(DeployConfig{
-		Profile: cfg.Profile,
-		Kind:    kind,
-		NumWeb:  3,
-		DBCache: false,
-		UseRSA:  true,
-		Seed:    cfg.Seed,
-		WithLB:  true,
+		Profile:   cfg.Profile,
+		Kind:      kind,
+		NumWeb:    3,
+		DBCache:   false,
+		UseRSA:    true,
+		Seed:      cfg.Seed,
+		WithLB:    true,
+		TLSSuites: cfg.TLSSuites,
 	})
 	mix := rubis.NewMix(cfg.Seed+int64(clients), d.DB.NumItems(), d.DB.NumUsers())
 	addr, port := d.FrontAddr()

@@ -9,6 +9,7 @@ import (
 	"hipcloud/internal/hip"
 	"hipcloud/internal/hipsim"
 	"hipcloud/internal/identity"
+	"hipcloud/internal/keymat"
 	"hipcloud/internal/metrics"
 	"hipcloud/internal/netsim"
 	"hipcloud/internal/secio"
@@ -67,6 +68,12 @@ type Fig3Config struct {
 	// Pings per RTT series (paper: 20).
 	Pings int
 	Seed  int64
+	// Suites overrides the HIP_CIPHER proposal list for the secured
+	// modes. Nil keeps the 2012 transform set (the committed numbers);
+	// keymat.PreferredAEAD re-measures the same figure on the modern
+	// single-pass AEAD data plane (the EXPERIMENTS.md
+	// "fig3 on modern primitives" table).
+	Suites []keymat.Suite
 }
 
 func (c *Fig3Config) fill() {
@@ -158,8 +165,8 @@ func RunFig3Mode(cfg Fig3Config, mode ConnMode) (Fig3Point, error) {
 			}
 		case ModeHITIPv4, ModeLSIIPv4:
 			reg := hipsim.NewRegistry()
-			fa := newHIPFabric(w.vmA.Node, reg, nil)
-			fb := newHIPFabric(w.vmB.Node, reg, nil)
+			fa := newHIPFabric(w.vmA.Node, reg, nil, cfg.Suites)
+			fb := newHIPFabric(w.vmB.Node, reg, nil, cfg.Suites)
 			cliT = &secio.Transport{Kind: secio.HIP, Stack: simtcp.NewStack(w.vmA.Node, fa)}
 			srvT = &secio.Transport{Kind: secio.HIP, Stack: simtcp.NewStack(w.vmB.Node, fb)}
 			target = fb.Host().HIT()
@@ -180,8 +187,8 @@ func RunFig3Mode(cfg Fig3Config, mode ConnMode) (Fig3Point, error) {
 			}
 		case ModeHITTeredo, ModeLSITeredo:
 			reg := hipsim.NewRegistry()
-			fa := newHIPFabric(w.vmA.Node, reg, w.caT)
-			fb := newHIPFabric(w.vmB.Node, reg, w.cbT)
+			fa := newHIPFabric(w.vmA.Node, reg, w.caT, cfg.Suites)
+			fb := newHIPFabric(w.vmB.Node, reg, w.cbT, cfg.Suites)
 			cliT = &secio.Transport{Kind: secio.HIP, Stack: simtcp.NewStack(w.vmA.Node, fa)}
 			srvT = &secio.Transport{Kind: secio.HIP, Stack: simtcp.NewStack(w.vmB.Node, fb)}
 			target = fb.Host().HIT()
@@ -228,13 +235,15 @@ func RunFig3Mode(cfg Fig3Config, mode ConnMode) (Fig3Point, error) {
 
 // newHIPFabric builds a HIP host+fabric on node; ul selects the underlay
 // (nil = direct IPv4).
-func newHIPFabric(node *netsim.Node, reg *hipsim.Registry, ul hipsim.Underlay) *hipsim.Fabric {
+func newHIPFabric(node *netsim.Node, reg *hipsim.Registry, ul hipsim.Underlay, suites []keymat.Suite) *hipsim.Fabric {
 	id := identity.MustGenerateDeterministic(identity.AlgRSA, "fig3/"+node.Name())
 	loc := node.Addr()
 	if ul != nil {
 		loc = ul.LocalAddr()
 	}
-	h, err := hip.NewHost(hip.Config{Identity: id, Locator: loc, Costs: cloud.HIPCosts(true)})
+	h, err := hip.NewHost(hip.Config{
+		Identity: id, Locator: loc, Costs: cloud.HIPCosts(true), Suites: suites,
+	})
 	if err != nil {
 		panic(err)
 	}

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"hipcloud/internal/secio"
+	"hipcloud/internal/tlslite"
 )
 
 // checkGolden compares got against the committed testdata golden. Running
@@ -55,4 +58,25 @@ func TestFig2GoldenShortSeed1(t *testing.T) {
 		Clients: []int{4, 50}, Seed: 1,
 	})
 	checkGolden(t, "fig2_short_seed1.golden", tbl.String())
+}
+
+// TestFig2GoldenShortAEADSeed1 pins the same sweep with the ssl column
+// negotiated onto the modern AEAD record suites: the negotiation and the
+// GCM/ChaCha record paths are exactly as deterministic as the legacy
+// channel, and the experiment harness needs no other change to run the
+// paper's workload on 2026 primitives.
+func TestFig2GoldenShortAEADSeed1(t *testing.T) {
+	pts, tbl := RunFig2(Fig2Config{
+		Duration: 8 * time.Second, Warmup: time.Second,
+		Clients: []int{4, 50}, Seed: 1,
+		TLSSuites: tlslite.PreferredSuites,
+	})
+	// Guard against the failure mode where every AEAD handshake errors
+	// out and the ssl column silently pins a column of zeros.
+	for _, p := range pts {
+		if p.Kind == secio.SSL && p.Throughput == 0 {
+			t.Fatalf("ssl column dead at %d clients — AEAD handshakes failing", p.Clients)
+		}
+	}
+	checkGolden(t, "fig2_short_aead_seed1.golden", tbl.String())
 }

@@ -107,7 +107,7 @@ func (h *Host) r1TemplateFor(k uint8) *r1Template {
 			Group:  hipwire.DHGroupP256,
 			Public: h.dhPriv.PublicKey().Bytes(),
 		}.Marshal()},
-		{hipwire.ParamHIPCipher, suitesToWire(keymat.Preferred).Marshal()},
+		{hipwire.ParamHIPCipher, suitesToWire(h.suites).Marshal()},
 		{hipwire.ParamHostID, hipwire.HostID{
 			Algorithm: uint16(h.id.Algorithm()),
 			HI:        h.id.Public().DER,
@@ -262,8 +262,13 @@ func (h *Host) handleI2(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 		h.PacketsDropped++
 		return
 	}
+	// Validate the choice against this host's OWN offer (h.suites, the
+	// list the R1 carried) — not the package-wide default. Checking a
+	// global list instead would let an initiator steer a host configured
+	// for a narrower (or AEAD-only) policy onto a suite it never
+	// offered: a silent downgrade.
 	suite := keymat.Suite(chosenList[0])
-	if _, err := keymat.Negotiate([]keymat.Suite{suite}, keymat.Preferred); err != nil {
+	if _, err := keymat.Negotiate([]keymat.Suite{suite}, h.suites); err != nil {
 		h.notify(pkt.SenderHIT, src, hipwire.NotifyNoDHProposalChosen)
 		return
 	}
@@ -449,7 +454,11 @@ func (h *Host) handleR1(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 		return
 	}
 	h.cost += h.cfg.Costs.DHCompute
-	// Cipher negotiation: pick from the responder's offer.
+	// Cipher negotiation: intersect the responder's R1 offer with this
+	// host's own preference list (h.suites). Preference order on OUR
+	// side decides among mutually supported suites, so a peer listing
+	// legacy transforms first cannot win a downgrade when both sides
+	// support AEAD.
 	cipherP, ok := pkt.Get(hipwire.ParamHIPCipher)
 	if !ok {
 		return
@@ -458,7 +467,7 @@ func (h *Host) handleR1(pkt *hipwire.Packet, src netip.Addr, now time.Duration) 
 	if err != nil {
 		return
 	}
-	suite, err := keymat.Negotiate(wireToSuites(offerWire), keymat.Preferred)
+	suite, err := keymat.Negotiate(wireToSuites(offerWire), h.suites)
 	if err != nil {
 		return
 	}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hipcloud/internal/identity"
+	"hipcloud/internal/keymat"
 	"hipcloud/internal/puzzle"
 )
 
@@ -178,6 +179,13 @@ type Config struct {
 	// parameter in I2 (identity privacy, RFC 5201 §5.2.17): a passive
 	// observer of the handshake learns only the HIT.
 	EncryptHostID bool
+	// Suites is the preference-ordered HIP_CIPHER proposal list: what a
+	// responder offers in R1 and what either side is willing to accept
+	// (the chosen suite in I2 is validated against it, so a peer can
+	// never push this host onto a suite it did not offer). Nil keeps the
+	// 2012 default (keymat.Preferred — CTR/CBC/NULL, the set the
+	// simulation goldens pin); modern drivers pass keymat.PreferredAEAD.
+	Suites []keymat.Suite
 }
 
 // Host is a HIP endpoint: identity, associations and the handshake
@@ -190,6 +198,8 @@ type Host struct {
 
 	dhPriv *ecdh.PrivateKey // long-lived responder DH key (R1 pool key)
 	r1Tmpl map[uint8]*r1Template
+	// suites is the resolved Config.Suites (never nil after NewHost).
+	suites []keymat.Suite
 
 	assocs map[netip.Addr]*Association // by peer HIT
 	// assocList mirrors assocs in peer-HIT order, maintained by
@@ -255,6 +265,15 @@ func NewHost(cfg Config) (*Host, error) {
 	if cfg.RetransmitBase <= 0 {
 		cfg.RetransmitBase = 500 * time.Millisecond
 	}
+	suites := cfg.Suites
+	if len(suites) == 0 {
+		suites = keymat.Preferred
+	}
+	for _, s := range suites {
+		if _, err := s.EncKeyLen(); err != nil {
+			return nil, fmt.Errorf("hip: Config.Suites: %w", err)
+		}
+	}
 	h := &Host{
 		cfg:      cfg,
 		id:       cfg.Identity,
@@ -263,6 +282,7 @@ func NewHost(cfg Config) (*Host, error) {
 		assocs:   make(map[netip.Addr]*Association),
 		bySPI:    make(map[uint32]*Association),
 		r1Tmpl:   make(map[uint8]*r1Template),
+		suites:   suites,
 	}
 	seed := int64(1)
 	if cfg.Rand != nil {

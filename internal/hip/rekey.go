@@ -20,6 +20,20 @@ const DefaultRekeyThreshold = 1 << 24
 // round trip plus retransmissions, during which data keeps flowing on the
 // old SA. A threshold configured at or past the limit would otherwise
 // only fire once sends are already failing.
+//
+// For the implicit-IV AEAD suites this clamp is also the nonce-reuse
+// defense in depth, audited for ISSUE 10: the nonce is the sequence
+// number, so a counter wrap would repeat a (key, nonce) pair —
+// catastrophic for GCM. Two mechanisms make that unreachable. First,
+// the clamp fires a rekey at the latest 2^16 packets before saturation,
+// and installRekeyedSAs swaps in SAs keyed from a fresh KEYMAT draw
+// (new key AND new salt, so the new SA's nonce stream is disjoint even
+// though its counter restarts at 1). Second, even if the rekey
+// exchange never completes — peer dead, UPDATEs lost past retry — the
+// old SA saturates and esp.SealAppend refuses to seal rather than
+// wrapping: the final sequence value is used at most once. The
+// exhaustion-boundary tests in internal/esp pin the second mechanism;
+// TestRekeyThresholdClampAEAD pins the first.
 const rekeyHeadroom = 1 << 16
 
 // rekeyThreshold returns the configured or default rekey point, clamped

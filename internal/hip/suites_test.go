@@ -1,0 +1,233 @@
+package hip
+
+import (
+	"testing"
+
+	"hipcloud/internal/keymat"
+)
+
+func TestBEXNegotiatesAEAD(t *testing.T) {
+	for _, s := range []keymat.Suite{
+		keymat.SuiteAESGCM128, keymat.SuiteAESGCM256, keymat.SuiteChaCha20Poly1305,
+	} {
+		t.Run(s.String(), func(t *testing.T) {
+			w := newWire(t)
+			a, err := NewHost(Config{Identity: idA, Locator: locA, Suites: []keymat.Suite{s}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewHost(Config{Identity: idB, Locator: locB, Suites: keymat.PreferredAEAD})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.add(a, locA)
+			w.add(b, locB)
+			establish(t, w, a, b)
+
+			aa, _ := a.Association(b.HIT())
+			bb, _ := b.Association(a.HIT())
+			if aa.Suite() != s || bb.Suite() != s {
+				t.Fatalf("negotiated %v / %v, want %v", aa.Suite(), bb.Suite(), s)
+			}
+			// Data plane both ways on the AEAD SA.
+			pkt, _, err := a.SealData(b.HIT(), []byte("aead payload"), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _, err := b.OpenData(pkt, false); err != nil || string(got) != "aead payload" {
+				t.Fatalf("data: %q %v", got, err)
+			}
+			pkt2, _, err := b.SealData(a.HIT(), []byte("reply"), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _, err := a.OpenData(pkt2, false); err != nil || string(got) != "reply" {
+				t.Fatalf("reverse: %q %v", got, err)
+			}
+		})
+	}
+}
+
+// Mutual AEAD support negotiates AEAD even though the responder's offer
+// also lists every legacy suite — the downgrade matrix's end-to-end
+// counterpart.
+func TestBEXPrefersAEADOverLegacy(t *testing.T) {
+	w := newWire(t)
+	a, err := NewHost(Config{Identity: idA, Locator: locA, Suites: keymat.PreferredAEAD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHost(Config{Identity: idB, Locator: locB, Suites: keymat.PreferredAEAD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+	aa, _ := a.Association(b.HIT())
+	if aa.Suite() != keymat.SuiteAESGCM128 {
+		t.Fatalf("negotiated %v, want the AEAD head of the preference list", aa.Suite())
+	}
+}
+
+// A 2012-era peer (nil Suites = legacy default) still interops with a
+// modern host in both roles; the association falls back to a legacy
+// suite instead of failing.
+func TestBEXMixedEraInterop(t *testing.T) {
+	// Modern initiator, legacy responder.
+	w := newWire(t)
+	a, err := NewHost(Config{Identity: idA, Locator: locA, Suites: keymat.PreferredAEAD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newHost(t, idB, locB) // nil Suites: offers keymat.Preferred
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+	aa, _ := a.Association(b.HIT())
+	if aa.Suite() != keymat.SuiteAESCTRSHA256 {
+		t.Fatalf("modern->legacy negotiated %v, want AES-CTR fallback", aa.Suite())
+	}
+
+	// Legacy initiator, modern responder (the responder offers AEAD
+	// first but the initiator only accepts what it knows).
+	w2 := newWire(t)
+	c := newHost(t, idA, locA)
+	d, err := NewHost(Config{Identity: idB, Locator: locB, Suites: keymat.PreferredAEAD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.add(c, locA)
+	w2.add(d, locB)
+	establish(t, w2, c, d)
+	cc, _ := c.Association(d.HIT())
+	if cc.Suite() != keymat.SuiteAESCTRSHA256 {
+		t.Fatalf("legacy->modern negotiated %v, want AES-CTR fallback", cc.Suite())
+	}
+}
+
+// An AEAD-only responder never silently downgrades: a legacy-only
+// initiator finds no common suite and the association must fail to
+// establish rather than land on a suite outside the responder's policy.
+func TestBEXAEADOnlyPolicyRefusesLegacyPeer(t *testing.T) {
+	w := newWire(t)
+	a := newHost(t, idA, locA) // legacy-only initiator
+	b, err := NewHost(Config{Identity: idB, Locator: locB,
+		Suites: []keymat.Suite{keymat.SuiteAESGCM128, keymat.SuiteChaCha20Poly1305}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.add(a, locA)
+	w.add(b, locB)
+	if err := a.Connect(b.HIT(), b.Locator(), w.now); err != nil {
+		t.Fatal(err)
+	}
+	w.pump()
+	if st := stateOf(a, b); st == Established {
+		t.Fatal("legacy initiator established against AEAD-only responder")
+	}
+	if st := stateOf(b, a); st == Established {
+		t.Fatal("AEAD-only responder established with legacy initiator")
+	}
+}
+
+// NewHost validates the suite list up front.
+func TestConfigSuitesValidated(t *testing.T) {
+	_, err := NewHost(Config{Identity: idA, Locator: locA, Suites: []keymat.Suite{keymat.Suite(999)}})
+	if err == nil {
+		t.Fatal("unknown suite accepted in Config.Suites")
+	}
+}
+
+// Rekey on an AEAD association: SPIs swap, the suite is retained, a
+// fresh salt+key generation takes over, and data keeps flowing. This is
+// the "rekey-safe" half of the suite plumbing.
+func TestRekeyAEADSuite(t *testing.T) {
+	for _, s := range []keymat.Suite{keymat.SuiteAESGCM128, keymat.SuiteChaCha20Poly1305} {
+		t.Run(s.String(), func(t *testing.T) {
+			w := newWire(t)
+			a, err := NewHost(Config{Identity: idA, Locator: locA, Suites: []keymat.Suite{s}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewHost(Config{Identity: idB, Locator: locB, Suites: keymat.PreferredAEAD})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.add(a, locA)
+			w.add(b, locB)
+			establish(t, w, a, b)
+			aa, _ := a.Association(b.HIT())
+			oldLocal, oldRemote := aa.SPIs()
+
+			stale, _, err := a.SealData(b.HIT(), []byte("pre-rekey"), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.ForceRekey(b.HIT(), w.now); err != nil {
+				t.Fatal(err)
+			}
+			w.pump()
+			if aa.Rekeys != 1 {
+				t.Fatalf("rekeys = %d", aa.Rekeys)
+			}
+			newLocal, newRemote := aa.SPIs()
+			if newLocal == oldLocal || newRemote == oldRemote {
+				t.Fatal("rekey did not swap SPIs")
+			}
+			if aa.Suite() != s {
+				t.Fatalf("suite changed across rekey: %v", aa.Suite())
+			}
+			// Old-generation traffic is dead, new generation flows.
+			if _, _, err := b.OpenData(stale, false); err == nil {
+				t.Fatal("pre-rekey packet accepted after rekey")
+			}
+			pkt, _, err := a.SealData(b.HIT(), []byte("post-rekey"), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _, err := b.OpenData(pkt, false); err != nil || string(got) != "post-rekey" {
+				t.Fatalf("post-rekey data: %q %v", got, err)
+			}
+		})
+	}
+}
+
+// The clamp audit for AEAD (ISSUE 10 satellite): with an absurd
+// configured threshold, Maintain still rekeys an AEAD association
+// rekeyHeadroom packets before the counter — and therefore the nonce —
+// could saturate.
+func TestRekeyThresholdClampAEAD(t *testing.T) {
+	w := newWire(t)
+	a, err := NewHost(Config{Identity: idA, Locator: locA,
+		RekeyThreshold: ^uint32(0), Suites: []keymat.Suite{keymat.SuiteAESGCM128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHost(Config{Identity: idB, Locator: locB, Suites: keymat.PreferredAEAD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.add(a, locA)
+	w.add(b, locB)
+	establish(t, w, a, b)
+	aa, _ := a.Association(b.HIT())
+
+	if got, want := a.rekeyThreshold(), ^uint32(0)-rekeyHeadroom; got != want {
+		t.Fatalf("clamped threshold = %d, want %d", got, want)
+	}
+	aa.ESP().Out.SetSeq(a.rekeyThreshold())
+	a.Maintain(w.now)
+	w.pump()
+	if aa.Rekeys != 1 {
+		t.Fatalf("rekeys = %d, want 1 (fired before nonce saturation)", aa.Rekeys)
+	}
+	// The new generation seals from sequence 1 under a fresh key+salt.
+	pkt, _, err := a.SealData(b.HIT(), []byte("fresh nonce stream"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := b.OpenData(pkt, false); err != nil || string(got) != "fresh nonce stream" {
+		t.Fatalf("post-clamp-rekey data: %q %v", got, err)
+	}
+}

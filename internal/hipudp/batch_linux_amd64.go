@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package hipudp
+
+// The generated amd64 syscall table predates sendmmsg, so both vector
+// syscall numbers are pinned here (linux/amd64 ABI).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package hipudp
+
+// linux/arm64 ABI numbers for the vector syscalls.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

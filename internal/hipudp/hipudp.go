@@ -14,10 +14,12 @@ import (
 	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
+	"io"
 	"math/rand"
 	"net"
 	"net/netip"
 	"sync"
+	"syscall"
 	"time"
 
 	"hipcloud/internal/hip"
@@ -44,11 +46,34 @@ var (
 	ErrPortInUse   = errors.New("hipudp: port already bound")
 )
 
+// Options tunes the stack's socket I/O engine.
+type Options struct {
+	// TxShards is the number of asynchronous sender shards. Outgoing
+	// frames hash by destination endpoint — the stack installs one ESP SA
+	// pair and one endpoint per peer, so endpoint sharding is per-SA
+	// sharding: one association's frames stay ordered on one shard while
+	// different associations transmit concurrently and amortize syscalls
+	// via sendmmsg batching. 0 disables the sender: frames go out
+	// synchronously, one syscall each, from the protocol goroutine.
+	TxShards int
+	// RxBatch is how many datagrams one receive syscall may drain
+	// (recvmmsg on Linux; capped at rxBatchMax). 0 or 1 reads singly.
+	RxBatch int
+}
+
+// DefaultOptions enables batched I/O: two sender shards and full-width
+// receive vectors.
+func DefaultOptions() Options {
+	return Options{TxShards: 2, RxBatch: rxBatchMax}
+}
+
 // Stack is a HIP endpoint over one UDP socket.
 type Stack struct {
 	mu    sync.Mutex
 	host  *hip.Host
 	pc    *net.UDPConn
+	rc    syscall.RawConn
+	opts  Options
 	epoch time.Time
 
 	// peers maps HITs to UDP endpoints (the static hosts-file role).
@@ -69,6 +94,12 @@ type Stack struct {
 
 	closed bool
 	done   chan struct{}
+
+	// Socket counters and the async sender (nil when TxShards == 0).
+	stats   ioStats
+	txErrMu sync.Mutex
+	txErr   error
+	sender  *sender
 }
 
 type connKey struct {
@@ -90,9 +121,15 @@ func cryptoSeed() int64 {
 }
 
 // NewStack binds a UDP socket at listen (e.g. "127.0.0.1:10500") for the
-// given HIP host. The host's configured locator should match the bound
-// address.
+// given HIP host, with batched I/O defaults. The host's configured
+// locator should match the bound address.
 func NewStack(host *hip.Host, listen string) (*Stack, error) {
+	return NewStackOpts(host, listen, DefaultOptions())
+}
+
+// NewStackOpts is NewStack with explicit I/O options (Options{} yields
+// the fully synchronous, one-syscall-per-packet engine).
+func NewStackOpts(host *hip.Host, listen string, opts Options) (*Stack, error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, err
@@ -104,6 +141,7 @@ func NewStack(host *hip.Host, listen string) (*Stack, error) {
 	s := &Stack{
 		host:      host,
 		pc:        pc,
+		opts:      opts,
 		epoch:     time.Now(),
 		peers:     make(map[netip.Addr]netip.AddrPort),
 		hitToEP:   make(map[netip.Addr]netip.AddrPort),
@@ -114,6 +152,14 @@ func NewStack(host *hip.Host, listen string) (*Stack, error) {
 		nextPort:  41000,
 		rng:       rand.New(rand.NewSource(cryptoSeed())),
 		done:      make(chan struct{}),
+	}
+	// RawConn enables the sendmmsg/recvmmsg fast path; on failure the
+	// engines fall back to one syscall per packet.
+	if rc, rcErr := pc.SyscallConn(); rcErr == nil {
+		s.rc = rc
+	}
+	if opts.TxShards > 0 {
+		s.sender = newSender(s, opts.TxShards)
 	}
 	go s.readLoop()
 	go s.timerLoop()
@@ -168,27 +214,67 @@ func (s *Stack) Close() error {
 		l.cond.Broadcast()
 	}
 	s.mu.Unlock()
+	// Drain the async sender before tearing the socket down so already
+	// queued frames still reach the wire.
+	if s.sender != nil {
+		s.sender.close()
+	}
 	return s.pc.Close()
 }
 
-// readLoop dispatches inbound datagrams.
+// readLoop drains inbound datagrams in recvmmsg-sized vectors and
+// dispatches them. Each datagram is still copied out of the reusable
+// receive arena before the protocol cores see it.
 func (s *Stack) readLoop() {
-	buf := make([]byte, 64*1024)
+	eng := newRxEngine()
+	nbuf := s.opts.RxBatch
+	if nbuf < 1 {
+		nbuf = 1
+	}
+	if nbuf > rxBatchMax {
+		nbuf = rxBatchMax
+	}
+	bufs := make([][]byte, nbuf)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64*1024)
+	}
+	sizes := make([]int, nbuf)
+	eps := make([]netip.AddrPort, nbuf)
 	for {
-		n, from, err := s.pc.ReadFromUDPAddrPort(buf)
+		cnt, nsys, err := eng.read(s.pc, s.rc, bufs, sizes, eps)
+		s.stats.rxSyscalls.Add(uint64(nsys))
+		if cnt > 0 {
+			s.stats.rxBatches.Add(1)
+		}
+		for i := 0; i < cnt; i++ {
+			n := sizes[i]
+			s.stats.rxPackets.Add(1)
+			s.stats.rxBytes.Add(uint64(n))
+			if n < 1 {
+				continue
+			}
+			buf := bufs[i]
+			data := make([]byte, n-1)
+			copy(data, buf[1:n])
+			switch buf[0] {
+			case frameHIP:
+				s.onControl(data, eps[i])
+			case frameESP:
+				s.onData(data)
+			}
+		}
 		if err != nil {
-			return
-		}
-		if n < 1 {
-			continue
-		}
-		data := make([]byte, n-1)
-		copy(data, buf[1:n])
-		switch buf[0] {
-		case frameHIP:
-			s.onControl(data, from)
-		case frameESP:
-			s.onData(data)
+			// Stop only on shutdown; transient socket errors (e.g. an ICMP
+			// port-unreachable surfacing on the UDP socket) must not kill
+			// the read loop.
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
 		}
 	}
 }
@@ -289,7 +375,29 @@ func (s *Stack) writeFrame(typ byte, ep netip.AddrPort, data []byte) {
 	buf := make([]byte, 1+len(data))
 	buf[0] = typ
 	copy(buf[1:], data)
-	s.pc.WriteToUDPAddrPort(buf, ep)
+	p := txPacket{buf: buf, ep: ep}
+	if s.sender != nil {
+		s.sender.enqueue(s, p)
+		return
+	}
+	s.writeNow(p)
+}
+
+// writeNow is the synchronous send path (TxShards == 0). Errors and
+// short writes are counted and retained instead of being discarded.
+func (s *Stack) writeNow(p txPacket) {
+	n, err := s.pc.WriteToUDPAddrPort(p.buf, p.ep)
+	s.stats.txSyscalls.Add(1)
+	s.stats.txBatches.Add(1)
+	if err == nil && n != len(p.buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		s.noteTxErr(err)
+		return
+	}
+	s.stats.txPackets.Add(1)
+	s.stats.txBytes.Add(uint64(n))
 }
 
 // timerLoop drives HIP retransmissions and stream RTOs.

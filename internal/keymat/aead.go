@@ -1,0 +1,98 @@
+package keymat
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+)
+
+// ErrAuthFailed is returned when an AEAD tag does not verify.
+var ErrAuthFailed = errors.New("keymat: aead authentication failed")
+
+// AEAD is the single-pass seal/open primitive behind the modern suites.
+// It mirrors cipher.AEAD but takes the nonce as a fixed-size array
+// pointer so callers can keep one nonce scratch in their SA state and
+// never force a per-packet heap escape, and it adds Zeroize for the
+// secret-hygiene contract (DESIGN.md §5a).
+//
+// Both Seal and Open append to dst and support fully in-place operation:
+// pass region[:0] as dst where region aliases the plaintext/ciphertext.
+type AEAD interface {
+	// Seal appends ciphertext||tag to dst and returns the extended slice.
+	Seal(dst []byte, nonce *[NonceLen]byte, plaintext, aad []byte) []byte
+	// Open verifies the trailing tag of ciphertext in constant time and,
+	// only on success, appends the plaintext to dst. The tag is checked
+	// before any plaintext is produced.
+	Open(dst []byte, nonce *[NonceLen]byte, ciphertext, aad []byte) ([]byte, error)
+	// Zeroize wipes any key material the implementation retains.
+	Zeroize()
+}
+
+// NewAEADCipher builds the AEAD for an AEAD suite from its encryption
+// key (EncKeyLen bytes). The 4-byte salt drawn through the AuthKeyLen
+// slot is the caller's to mix into nonces; it is not part of the cipher
+// state.
+func NewAEADCipher(s Suite, key []byte) (AEAD, error) {
+	switch s {
+	case SuiteAESGCM128, SuiteAESGCM256:
+		want, _ := s.EncKeyLen()
+		if len(key) != want {
+			// Static error: a key-derived length (or the negotiated suite of
+			// a secret-bearing session) must never reach a format verb.
+			return nil, ErrKeyLen
+		}
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		g, err := cipher.NewGCM(block)
+		if err != nil {
+			return nil, err
+		}
+		return &gcmAEAD{g: g}, nil
+	case SuiteChaCha20Poly1305:
+		return NewChaChaPoly(key)
+	}
+	return nil, ErrUnknownSuite
+}
+
+// gcmAEAD adapts the stdlib GCM implementation (hardware AES-NI/PMULL
+// where available) to the AEAD interface.
+type gcmAEAD struct {
+	g cipher.AEAD
+}
+
+func (a *gcmAEAD) Seal(dst []byte, nonce *[NonceLen]byte, plaintext, aad []byte) []byte {
+	return a.g.Seal(dst, nonce[:], plaintext, aad)
+}
+
+func (a *gcmAEAD) Open(dst []byte, nonce *[NonceLen]byte, ciphertext, aad []byte) ([]byte, error) {
+	out, err := a.g.Open(dst, nonce[:], ciphertext, aad)
+	if err != nil {
+		// Collapse the stdlib sentinel so callers see one failure mode
+		// across all suites.
+		return nil, ErrAuthFailed
+	}
+	return out, nil
+}
+
+// Zeroize drops the cipher reference. The stdlib AES block keeps its
+// expanded key schedule in unexported state we cannot wipe; the raw key
+// bytes themselves live in AssociationKeys and are wiped by ZeroizeESP /
+// Zeroize on the retire paths.
+func (a *gcmAEAD) Zeroize() {
+	a.g = nil
+}
+
+// sliceForAppend extends in by n bytes, reusing capacity when it can,
+// and returns the full slice plus the appended region.
+func sliceForAppend(in []byte, n int) (head, tail []byte) {
+	if total := len(in) + n; cap(in) >= total {
+		head = in[:total]
+	} else {
+		head = make([]byte, total)
+		copy(head, in)
+	}
+	tail = head[len(in):]
+	return
+}

@@ -25,12 +25,21 @@ import (
 // cipher). Values follow the RFC 5202 ESP transform registry spirit.
 type Suite uint16
 
-// Supported suites.
+// Supported suites. The 2012 transforms (CBC/CTR + HMAC) keep their
+// original ids; the AEAD suites extend the registry without renumbering
+// anything already on the wire.
 const (
 	SuiteReserved     Suite = 0
 	SuiteAESCBCSHA256 Suite = 2 // AES-128-CBC + HMAC-SHA-256
 	SuiteNullSHA256   Suite = 3 // NULL cipher + HMAC-SHA-256 (integrity only)
 	SuiteAESCTRSHA256 Suite = 4 // AES-128-CTR + HMAC-SHA-256
+
+	// Modern single-pass AEAD suites: encryption and integrity in one
+	// keyed primitive, implicit nonces derived from the replay counter
+	// (no HMAC key, no separate MAC pass).
+	SuiteAESGCM128        Suite = 8  // AES-128-GCM
+	SuiteAESGCM256        Suite = 9  // AES-256-GCM
+	SuiteChaCha20Poly1305 Suite = 10 // ChaCha20-Poly1305 (RFC 8439)
 )
 
 func (s Suite) String() string {
@@ -41,6 +50,12 @@ func (s Suite) String() string {
 		return "NULL-SHA256"
 	case SuiteAESCTRSHA256:
 		return "AES-CTR-SHA256"
+	case SuiteAESGCM128:
+		return "AES-128-GCM"
+	case SuiteAESGCM256:
+		return "AES-256-GCM"
+	case SuiteChaCha20Poly1305:
+		return "CHACHA20-POLY1305"
 	}
 	return fmt.Sprintf("suite(%d)", uint16(s))
 }
@@ -48,28 +63,73 @@ func (s Suite) String() string {
 // ErrUnknownSuite is returned for unregistered suite ids.
 var ErrUnknownSuite = errors.New("keymat: unknown cipher suite")
 
+// ErrKeyLen is returned for a key of the wrong length. It is static by
+// design: key-derived values (even lengths) stay out of error strings.
+var ErrKeyLen = errors.New("keymat: wrong key length")
+
+// IsAEAD reports whether the suite is a single-pass AEAD transform
+// (implicit nonce from the sequence counter, tag instead of HMAC ICV).
+func (s Suite) IsAEAD() bool {
+	switch s {
+	case SuiteAESGCM128, SuiteAESGCM256, SuiteChaCha20Poly1305:
+		return true
+	}
+	return false
+}
+
 // EncKeyLen returns the encryption key length for the suite.
 func (s Suite) EncKeyLen() (int, error) {
 	switch s {
-	case SuiteAESCBCSHA256, SuiteAESCTRSHA256:
+	case SuiteAESCBCSHA256, SuiteAESCTRSHA256, SuiteAESGCM128:
 		return 16, nil
+	case SuiteAESGCM256, SuiteChaCha20Poly1305:
+		return 32, nil
 	case SuiteNullSHA256:
 		return 0, nil
 	}
 	return 0, ErrUnknownSuite
 }
 
-// AuthKeyLen returns the integrity key length for the suite.
+// AuthKeyLen returns the integrity key length for the suite. AEAD suites
+// carry no HMAC key; their 4 "auth" bytes are the implicit-IV salt
+// (RFC 4106/8750 style) drawn through the same KEYMAT slot, which keeps
+// DeriveAssociation and DeriveESPRekey layout-compatible across the whole
+// registry — a rekey rotates the salt together with the key, so nonce
+// streams never collide across key generations.
 func (s Suite) AuthKeyLen() (int, error) {
 	switch s {
 	case SuiteAESCBCSHA256, SuiteAESCTRSHA256, SuiteNullSHA256:
 		return 32, nil
+	case SuiteAESGCM128, SuiteAESGCM256, SuiteChaCha20Poly1305:
+		return SaltLen, nil
 	}
 	return 0, ErrUnknownSuite
 }
 
-// Preferred is the default preference-ordered proposal list.
+// SaltLen is the implicit-IV salt length for AEAD suites: the nonce is
+// salt(4) || zero(4) || seq(4), unique per (key, sequence number).
+const SaltLen = 4
+
+// NonceLen is the AEAD nonce length (AES-GCM and ChaCha20-Poly1305 both
+// take 96-bit nonces).
+const NonceLen = 12
+
+// TagLen is the AEAD authentication tag length.
+const TagLen = 16
+
+// Preferred is the default preference-ordered proposal list. It is
+// deliberately the 2012 paper's transform set: the simulation experiments
+// negotiate through it, and their golden tables pin its order. Modern
+// deployments (the real-UDP drivers, the AEAD benchmarks) offer
+// PreferredAEAD instead.
 var Preferred = []Suite{SuiteAESCTRSHA256, SuiteAESCBCSHA256, SuiteNullSHA256}
+
+// PreferredAEAD is the modern preference list: single-pass AEAD suites
+// first, the legacy transforms retained for interop with 2012-only peers.
+var PreferredAEAD = []Suite{
+	SuiteAESGCM128, SuiteChaCha20Poly1305, SuiteAESGCM256,
+	SuiteAESCTRSHA256, SuiteAESCBCSHA256, SuiteNullSHA256,
+}
 
 // Negotiate picks the first of the responder's preferences present in the
 // initiator's offer (responder chooses, per RFC 5201).

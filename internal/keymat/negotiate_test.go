@@ -1,0 +1,150 @@
+package keymat
+
+import "testing"
+
+// Downgrade / offer-ordering matrix over the enlarged registry
+// (ISSUE 10 satellite): Negotiate walks the responder's preference list
+// and takes the first suite the initiator offered, so the OFFER's order
+// must never matter and a legacy-only offer must never displace mutual
+// AEAD support.
+func TestNegotiateDowngradeMatrix(t *testing.T) {
+	all := []Suite{
+		SuiteAESGCM128, SuiteAESGCM256, SuiteChaCha20Poly1305,
+		SuiteAESCTRSHA256, SuiteAESCBCSHA256, SuiteNullSHA256,
+	}
+	legacy := []Suite{SuiteAESCTRSHA256, SuiteAESCBCSHA256, SuiteNullSHA256}
+	aead := []Suite{SuiteAESGCM128, SuiteAESGCM256, SuiteChaCha20Poly1305}
+
+	cases := []struct {
+		name  string
+		offer []Suite
+		prefs []Suite
+		want  Suite
+	}{
+		// Mutual AEAD support: an attacker (or a sloppy peer) listing
+		// legacy suites first in the offer must not win a downgrade —
+		// responder preference decides.
+		{"legacy-first offer, AEAD prefs", []Suite{SuiteNullSHA256, SuiteAESCBCSHA256, SuiteAESGCM128}, PreferredAEAD, SuiteAESGCM128},
+		{"full offer reversed", []Suite{SuiteNullSHA256, SuiteAESCBCSHA256, SuiteAESCTRSHA256, SuiteChaCha20Poly1305, SuiteAESGCM256, SuiteAESGCM128}, PreferredAEAD, SuiteAESGCM128},
+		{"chacha-only AEAD offered", []Suite{SuiteNullSHA256, SuiteChaCha20Poly1305}, PreferredAEAD, SuiteChaCha20Poly1305},
+		{"gcm256-only AEAD offered", []Suite{SuiteAESCTRSHA256, SuiteAESGCM256}, PreferredAEAD, SuiteAESGCM256},
+		// Genuine legacy-only peer: fall back, picking the responder's
+		// best legacy suite.
+		{"legacy-only offer vs AEAD prefs", legacy, PreferredAEAD, SuiteAESCTRSHA256},
+		{"null-only offer vs AEAD prefs", []Suite{SuiteNullSHA256}, PreferredAEAD, SuiteNullSHA256},
+		// 2012-era responder never picks a suite it does not know.
+		{"AEAD-heavy offer vs legacy prefs", []Suite{SuiteAESGCM128, SuiteChaCha20Poly1305, SuiteAESCBCSHA256}, Preferred, SuiteAESCBCSHA256},
+		// Unknown ids in the offer are skipped, not fatal.
+		{"unknown ids interleaved", []Suite{Suite(77), SuiteAESGCM128, Suite(9999)}, PreferredAEAD, SuiteAESGCM128},
+	}
+	for _, tc := range cases {
+		got, err := Negotiate(tc.offer, tc.prefs)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: negotiated %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// Property sweep: for every single-suite offer drawn from the full
+	// registry and every preference list that contains it, the outcome
+	// is exactly that suite — offer ordering can never matter when the
+	// intersection is a singleton.
+	for _, s := range all {
+		got, err := Negotiate([]Suite{s}, all)
+		if err != nil || got != s {
+			t.Errorf("singleton offer %v: got %v, %v", s, got, err)
+		}
+	}
+
+	// No intersection → ErrUnknownSuite, never a silent pick.
+	if _, err := Negotiate(aead, legacy); err != ErrUnknownSuite {
+		t.Errorf("disjoint offer/prefs: err = %v, want ErrUnknownSuite", err)
+	}
+	if _, err := Negotiate(nil, PreferredAEAD); err != ErrUnknownSuite {
+		t.Errorf("empty offer: err = %v, want ErrUnknownSuite", err)
+	}
+}
+
+// The AEAD registry entries: key/salt lengths and classification.
+func TestAEADSuiteRegistry(t *testing.T) {
+	cases := []struct {
+		s       Suite
+		enc     int
+		auth    int
+		isAEAD  bool
+		strName string
+	}{
+		{SuiteAESGCM128, 16, SaltLen, true, "AES-128-GCM"},
+		{SuiteAESGCM256, 32, SaltLen, true, "AES-256-GCM"},
+		{SuiteChaCha20Poly1305, 32, SaltLen, true, "CHACHA20-POLY1305"},
+		{SuiteAESCTRSHA256, 16, 32, false, "AES-CTR-SHA256"},
+		{SuiteAESCBCSHA256, 16, 32, false, "AES-CBC-SHA256"},
+		{SuiteNullSHA256, 0, 32, false, "NULL-SHA256"},
+	}
+	for _, tc := range cases {
+		e, err := tc.s.EncKeyLen()
+		if err != nil || e != tc.enc {
+			t.Errorf("%v EncKeyLen = %d, %v; want %d", tc.s, e, err, tc.enc)
+		}
+		a, err := tc.s.AuthKeyLen()
+		if err != nil || a != tc.auth {
+			t.Errorf("%v AuthKeyLen = %d, %v; want %d", tc.s, a, err, tc.auth)
+		}
+		if tc.s.IsAEAD() != tc.isAEAD {
+			t.Errorf("%v IsAEAD = %v", tc.s, tc.s.IsAEAD())
+		}
+		if tc.s.String() != tc.strName {
+			t.Errorf("%v String = %q", tc.s, tc.s.String())
+		}
+	}
+	if Suite(12345).IsAEAD() {
+		t.Error("unknown suite classified as AEAD")
+	}
+}
+
+// DeriveAssociation / DeriveESPRekey work unchanged for AEAD suites: the
+// 4-byte salt flows through the auth-key slot and rotates on rekey.
+func TestDeriveAssociationAEAD(t *testing.T) {
+	for _, s := range []Suite{SuiteAESGCM128, SuiteAESGCM256, SuiteChaCha20Poly1305} {
+		ki := New([]byte("dh-secret"), hitI, hitR, 1, 2)
+		kr := New([]byte("dh-secret"), hitI, hitR, 1, 2)
+		ak, err := DeriveAssociation(ki, s, true)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		bk, err := DeriveAssociation(kr, s, false)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		encLen, _ := s.EncKeyLen()
+		if len(ak.ESPEncOut) != encLen || len(ak.ESPAuthOut) != SaltLen {
+			t.Fatalf("%v: key lengths %d/%d", s, len(ak.ESPEncOut), len(ak.ESPAuthOut))
+		}
+		if string(ak.ESPEncOut) != string(bk.ESPEncIn) || string(ak.ESPAuthOut) != string(bk.ESPAuthIn) {
+			t.Fatalf("%v: directional keys do not mirror", s)
+		}
+
+		rk1, err := DeriveESPRekey(ki, s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk2, err := DeriveESPRekey(kr, s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rk1.ESPEncOut) != string(rk2.ESPEncIn) || string(rk1.ESPAuthOut) != string(rk2.ESPAuthIn) {
+			t.Fatalf("%v: rekey keys do not mirror", s)
+		}
+		// The rekey must rotate both the key and the salt, or nonce
+		// streams would collide across key generations.
+		if string(rk1.ESPEncOut) == string(ak.ESPEncOut) {
+			t.Fatalf("%v: rekey reused the encryption key", s)
+		}
+		if string(rk1.ESPAuthOut) == string(ak.ESPAuthOut) {
+			t.Fatalf("%v: rekey reused the implicit-IV salt", s)
+		}
+	}
+}

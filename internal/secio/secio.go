@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"hipcloud/internal/identity"
+	"hipcloud/internal/keymat"
 	"hipcloud/internal/netsim"
 	"hipcloud/internal/simtcp"
 	"hipcloud/internal/tlslite"
@@ -61,6 +62,12 @@ type Transport struct {
 	TLSSessions *tlslite.ServerSessions
 	// TLSServerName keys the client session cache (SSL only).
 	TLSServerName string
+	// TLSSuites selects the tlslite record suites (SSL only). Nil keeps
+	// the legacy AES-CTR channel and a byte-identical wire, so existing
+	// goldens are untouched; a non-nil list turns on transcript-bound
+	// suite negotiation (e.g. tlslite.PreferredSuites for the modern
+	// single-pass AEAD record layer).
+	TLSSuites []keymat.Suite
 	// Rand supplies handshake randomness (SSL only; nil = crypto/rand).
 	// Simulation drivers must pass the sim's seeded RNG: ECDSA signatures
 	// over the hello randoms vary in DER length with their content, so
@@ -113,6 +120,7 @@ func (t *Transport) Dial(p *netsim.Proc, peer netip.Addr, port uint16) (Conn, er
 		Cache:      t.TLSCache,
 		ServerName: t.TLSServerName,
 		Rand:       t.Rand,
+		Suites:     t.TLSSuites,
 	})
 	if err != nil {
 		c.Abort()
@@ -179,6 +187,7 @@ func (t *Transport) ServerConn(p *netsim.Proc, c *simtcp.Conn) (Conn, error) {
 		Charge:   t.charger(bound),
 		Sessions: t.TLSSessions,
 		Rand:     t.Rand,
+		Suites:   t.TLSSuites,
 	})
 	if err != nil {
 		c.Abort()

@@ -3,6 +3,8 @@ package tlslite
 import (
 	"bytes"
 	"testing"
+
+	"hipcloud/internal/keymat"
 )
 
 // connPair wires two Conns with matched directional keys directly (no
@@ -10,17 +12,31 @@ import (
 // a shared in-memory buffer: a.Write feeds b.Read.
 func connPair(tb testing.TB) (a, b *Conn) {
 	tb.Helper()
+	return connPairSuite(tb, legacySuite)
+}
+
+// connPairSuite is connPair for an explicit record suite, deriving
+// deterministic directional keys of the suite's registry lengths.
+func connPairSuite(tb testing.TB, s keymat.Suite) (a, b *Conn) {
+	tb.Helper()
 	lb := &bytes.Buffer{}
-	cliEnc := []byte("0123456789abcdef")
-	srvEnc := []byte("fedcba9876543210")
-	cliMac := bytes.Repeat([]byte{0x11}, 32)
-	srvMac := bytes.Repeat([]byte{0x22}, 32)
-	var err error
-	a, err = newConn(lb, Config{}, cliEnc, cliMac, srvEnc, srvMac, true, nil)
+	encLen, err := s.EncKeyLen()
 	if err != nil {
 		tb.Fatal(err)
 	}
-	b, err = newConn(lb, Config{}, cliEnc, cliMac, srvEnc, srvMac, false, nil)
+	authLen, err := s.AuthKeyLen()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cliEnc := bytes.Repeat([]byte{0x31}, encLen)
+	srvEnc := bytes.Repeat([]byte{0x64, 0x65}, (encLen+1)/2)[:encLen]
+	cliAuth := bytes.Repeat([]byte{0x11}, authLen)
+	srvAuth := bytes.Repeat([]byte{0x22}, authLen)
+	a, err = newConn(lb, Config{}, s, cliEnc, cliAuth, srvEnc, srvAuth, true, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err = newConn(lb, Config{}, s, cliEnc, cliAuth, srvEnc, srvAuth, false, nil)
 	if err != nil {
 		tb.Fatal(err)
 	}

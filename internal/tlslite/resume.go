@@ -15,44 +15,59 @@ import (
 // SSL connections affordable, and the reason the paper's HIP-vs-SSL
 // comparison is dominated by data-plane costs).
 
+// serverSession is one resumable session: the master secret plus the
+// record suite negotiated during the original full handshake (the
+// abbreviated exchange carries no suite bytes, so both ends must
+// remember it).
+type serverSession struct {
+	secret []byte
+	suite  keymat.Suite
+}
+
 // ServerSessions is the server-side resumption store, shared across
 // connections of one server.
 type ServerSessions struct {
 	mu sync.Mutex
-	m  map[string][]byte // ticket -> master secret
+	m  map[string]serverSession // ticket -> session
 	// Cap bounds stored sessions (FIFO-ish eviction; default 4096).
 	Cap int
 }
 
 // NewServerSessions creates an empty store.
 func NewServerSessions() *ServerSessions {
-	return &ServerSessions{m: make(map[string][]byte), Cap: 4096}
+	return &ServerSessions{m: make(map[string]serverSession), Cap: 4096}
 }
 
-func (s *ServerSessions) put(ticket, secret []byte) {
+func (s *ServerSessions) put(ticket, secret []byte, suite keymat.Suite) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.m) >= s.Cap {
 		for k := range s.m { // arbitrary eviction keeps the store bounded
-			keymat.Zeroize(s.m[k]) // the evicted master secret must not linger
+			keymat.Zeroize(s.m[k].secret) // the evicted master secret must not linger
 			delete(s.m, k)
 			break
 		}
 	}
-	s.m[string(ticket)] = append([]byte(nil), secret...)
+	s.m[string(ticket)] = serverSession{
+		secret: append([]byte(nil), secret...),
+		suite:  suite,
+	}
 }
 
-// get returns a copy of the master secret for ticket: the store wipes
-// its slices on eviction, so handing out aliases would zero material a
-// caller is still deriving keys from.
-func (s *ServerSessions) get(ticket []byte) ([]byte, bool) {
+// get returns a copy of the session for ticket: the store wipes its
+// secret slices on eviction, so handing out aliases would zero material
+// a caller is still deriving keys from.
+func (s *ServerSessions) get(ticket []byte) (serverSession, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sec, ok := s.m[string(ticket)]
+	sess, ok := s.m[string(ticket)]
 	if !ok {
-		return nil, false
+		return serverSession{}, false
 	}
-	return append([]byte(nil), sec...), true
+	return serverSession{
+		secret: append([]byte(nil), sess.secret...),
+		suite:  sess.suite,
+	}, true
 }
 
 // Len reports stored sessions.
@@ -71,6 +86,7 @@ type SessionCache struct {
 type clientSession struct {
 	ticket []byte
 	secret []byte
+	suite  keymat.Suite
 }
 
 // NewSessionCache creates an empty client cache.
@@ -78,7 +94,7 @@ func NewSessionCache() *SessionCache {
 	return &SessionCache{m: make(map[string]clientSession)}
 }
 
-func (c *SessionCache) put(server string, ticket, secret []byte) {
+func (c *SessionCache) put(server string, ticket, secret []byte, suite keymat.Suite) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.m[server]; ok {
@@ -88,6 +104,7 @@ func (c *SessionCache) put(server string, ticket, secret []byte) {
 	c.m[server] = clientSession{
 		ticket: append([]byte(nil), ticket...),
 		secret: append([]byte(nil), secret...),
+		suite:  suite,
 	}
 }
 
@@ -105,6 +122,7 @@ func (c *SessionCache) get(server string) (clientSession, bool) {
 	return clientSession{
 		ticket: append([]byte(nil), s.ticket...),
 		secret: append([]byte(nil), s.secret...),
+		suite:  s.suite,
 	}, true
 }
 
@@ -124,7 +142,7 @@ func (c *SessionCache) Forget(server string) {
 // when the server declined and the caller must fall back to a full
 // handshake on a fresh connection.
 func resumeClient(s Stream, cfg Config, sess clientSession, clientRand []byte) (*Conn, bool, error) {
-	hello := msg(msgClientHello, append(append([]byte{}, clientRand...), appendField(nil, sess.ticket)...))
+	hello := clientHello(&cfg, clientRand, sess.ticket)
 	if err := writeRecord(s, recHandshake, hello); err != nil {
 		return nil, false, err
 	}
@@ -158,8 +176,13 @@ func resumeClient(s Stream, cfg Config, sess clientSession, clientRand []byte) (
 	if err != nil || ft != msgFinished || !hmac.Equal(fb, transcriptMAC(sess.secret, hello, rec, []byte("server"))) {
 		return nil, false, ErrHandshake
 	}
-	cliEnc, cliMac, srvEnc, srvMac := keySchedule(sess.secret, clientRand, serverRand)
-	conn, err := newConn(s, cfg, cliEnc, cliMac, srvEnc, srvMac, true, nil)
+	// The resumed connection runs under the suite negotiated during the
+	// original full handshake, carried in the cache entry.
+	cliEnc, cliAuth, srvEnc, srvAuth, err := keySchedule(sess.secret, clientRand, serverRand, sess.suite)
+	if err != nil {
+		return nil, false, err
+	}
+	conn, err := newConn(s, cfg, sess.suite, cliEnc, cliAuth, srvEnc, srvAuth, true, nil)
 	return conn, true, err
 }
 
@@ -172,8 +195,9 @@ type errFallback struct {
 
 func (errFallback) Error() string { return "tlslite: resumption declined" }
 
-// issueTicket mints a ticket for secret and stores it.
-func issueTicket(cfg Config, secret []byte) []byte {
+// issueTicket mints a ticket for the session and stores it with its
+// negotiated record suite.
+func issueTicket(cfg Config, secret []byte, suite keymat.Suite) []byte {
 	if cfg.Sessions == nil {
 		return nil
 	}
@@ -181,6 +205,6 @@ func issueTicket(cfg Config, secret []byte) []byte {
 	if _, err := io.ReadFull(cfg.rand(), ticket); err != nil {
 		return nil
 	}
-	cfg.Sessions.put(ticket, secret)
+	cfg.Sessions.put(ticket, secret, suite)
 	return ticket
 }

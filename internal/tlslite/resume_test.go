@@ -82,7 +82,7 @@ func TestResumptionFreshKeysPerSession(t *testing.T) {
 func TestUnknownTicketFallsBackToFullHandshake(t *testing.T) {
 	cache := NewSessionCache()
 	// Poison the cache with a ticket the server never issued.
-	cache.put("web1", []byte("bogus-ticket-000"), make([]byte, 32))
+	cache.put("web1", []byte("bogus-ticket-000"), make([]byte, 32), legacySuite)
 	sessions := NewServerSessions()
 	var c, s time.Duration
 	costs := Costs{Sign: time.Millisecond, Verify: time.Millisecond}
@@ -124,7 +124,7 @@ func TestServerSessionsCapBound(t *testing.T) {
 	s := NewServerSessions()
 	s.Cap = 8
 	for i := 0; i < 50; i++ {
-		s.put([]byte{byte(i)}, []byte("secret"))
+		s.put([]byte{byte(i)}, []byte("secret"), legacySuite)
 	}
 	if s.Len() > 8 {
 		t.Fatalf("store grew to %d, cap 8", s.Len())

@@ -44,7 +44,23 @@ var (
 	ErrBadMAC      = errors.New("tlslite: record authentication failed")
 	ErrClosed      = errors.New("tlslite: connection closed")
 	ErrCertRefused = errors.New("tlslite: peer certificate refused")
+	ErrNoSuite     = errors.New("tlslite: no common cipher suite")
 )
+
+// legacySuite names the original record protection (AES-128-CTR +
+// HMAC-SHA-256) inside suite lists; peers that predate negotiation are
+// treated as offering exactly this.
+const legacySuite = keymat.SuiteAESCTRSHA256
+
+// PreferredSuites is the modern record-suite preference list: the
+// single-pass AEAD suites first, the legacy channel last for interop
+// with 2012-era peers. It is keymat.PreferredAEAD restricted to suites
+// with a record-layer mapping (Config.checkSuites rejects the ESP-only
+// CBC/NULL transforms).
+var PreferredSuites = []keymat.Suite{
+	keymat.SuiteAESGCM128, keymat.SuiteChaCha20Poly1305, keymat.SuiteAESGCM256,
+	legacySuite,
+}
 
 // Record types.
 const (
@@ -87,6 +103,18 @@ type Config struct {
 	Cache *SessionCache
 	// Sessions enables server-side resumption when non-nil.
 	Sessions *ServerSessions
+	// Suites lists acceptable record protections in preference order:
+	// the AEAD suites (keymat.SuiteAESGCM128, SuiteAESGCM256,
+	// SuiteChaCha20Poly1305) and keymat.SuiteAESCTRSHA256, which names
+	// the legacy AES-128-CTR + HMAC-SHA-256 record layer. Nil keeps the
+	// original wire format byte-for-byte: no suite fields appear in
+	// either hello and records use the legacy protection, so existing
+	// deployments and the simulation goldens are unaffected. A non-nil
+	// list turns on negotiation — the ClientHello carries the client's
+	// list, the ServerHello echoes the server's choice, and both are
+	// covered by the Finished transcript MACs, so stripping or rewriting
+	// the offer aborts the handshake rather than downgrading it.
+	Suites []keymat.Suite
 }
 
 func (c *Config) rand() io.Reader {
@@ -126,6 +154,66 @@ func (c *Config) charge(d time.Duration) {
 	}
 }
 
+// checkSuites validates Config.Suites up front: only suites with a
+// record-layer mapping are allowed (the AEAD suites and legacySuite).
+func (c *Config) checkSuites() error {
+	for _, s := range c.Suites {
+		if s != legacySuite && !s.IsAEAD() {
+			return fmt.Errorf("%w: suite %v has no record-layer mapping", ErrNoSuite, s)
+		}
+	}
+	return nil
+}
+
+// allows reports whether the config accepts suite s for the record
+// layer (nil Suites = legacy only).
+func (c *Config) allows(s keymat.Suite) bool {
+	if c.Suites == nil {
+		return s == legacySuite
+	}
+	for _, have := range c.Suites {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}
+
+// suitesWire encodes a suite list as big-endian uint16 pairs.
+func suitesWire(suites []keymat.Suite) []byte {
+	out := make([]byte, 0, 2*len(suites))
+	for _, s := range suites {
+		out = append(out, byte(s>>8), byte(s))
+	}
+	return out
+}
+
+// parseSuitesWire decodes a suite-list field (trailing odd byte is a
+// parse error; unknown ids are kept — Negotiate skips them).
+func parseSuitesWire(b []byte) ([]keymat.Suite, error) {
+	if len(b) == 0 || len(b)%2 != 0 {
+		return nil, ErrBadRecord
+	}
+	out := make([]keymat.Suite, 0, len(b)/2)
+	for i := 0; i < len(b); i += 2 {
+		out = append(out, keymat.Suite(binary.BigEndian.Uint16(b[i:])))
+	}
+	return out, nil
+}
+
+// clientHello builds the ClientHello message: rand(32) field(ticket)
+// and, only for suite-aware clients, a trailing field with the offered
+// suite list. Legacy servers parse the first two and ignore trailing
+// bytes, so the offer is backward compatible; a nil-Suites client emits
+// the original bytes exactly.
+func clientHello(cfg *Config, clientRand, ticket []byte) []byte {
+	body := appendField(append([]byte{}, clientRand...), ticket)
+	if cfg.Suites != nil {
+		body = appendField(body, suitesWire(cfg.Suites))
+	}
+	return msg(msgClientHello, body)
+}
+
 // Conn is an established secure channel.
 //
 // Like net.Conn, one Read and one Write may run concurrently, but the
@@ -137,10 +225,18 @@ type Conn struct {
 	cfg    Config
 
 	outSeq, inSeq uint64
+	suite         keymat.Suite
 	outEnc, inEnc cipher.Block
 	// Cached keyed HMAC states, reset-reused per record (the keyed pads
 	// are computed once here instead of hmac.New per record).
 	outMAC, inMAC *keymat.MAC
+	// AEAD record protection (nil on legacy connections). The nonce
+	// arrays hold the per-direction 4-byte salt in their head and the
+	// record sequence number in their tail; like the CTR scratch below
+	// they live on the heap-resident Conn so crossing the AEAD interface
+	// never forces a per-record escape.
+	outAEAD, inAEAD   keymat.AEAD
+	outNonce, inNonce [keymat.NonceLen]byte
 	// Per-direction CTR keystream and IV scratch. The arrays cross the
 	// cipher.Block interface, so they live on the (heap-resident) Conn to
 	// keep the per-record path allocation-free.
@@ -159,6 +255,9 @@ type Conn struct {
 
 // Peer returns the peer's verified identity (nil for anonymous clients).
 func (c *Conn) Peer() *identity.PublicID { return c.peer }
+
+// Suite returns the negotiated record-protection suite.
+func (c *Conn) Suite() keymat.Suite { return c.suite }
 
 // --- handshake messages ---
 
@@ -228,8 +327,21 @@ func splitMsg(b []byte) (byte, []byte, error) {
 }
 
 // keySchedule derives directional keys from the ECDHE secret and both
-// randoms (a PRF in the spirit of TLS 1.2's).
-func keySchedule(secret, clientRand, serverRand []byte) (cliEnc, cliMac, srvEnc, srvMac []byte) {
+// randoms (a PRF in the spirit of TLS 1.2's). The four PRF draws and
+// their truncation depend only on the suite's registry entry, so the
+// legacy suite yields exactly the pre-negotiation bytes (16-byte enc
+// key, 32-byte MAC key per direction) while the AEAD suites draw their
+// key through the enc slot and the 4-byte implicit-IV salt through the
+// auth slot — the same convention as the ESP KEYMAT layout.
+func keySchedule(secret, clientRand, serverRand []byte, suite keymat.Suite) (cliEnc, cliAuth, srvEnc, srvAuth []byte, err error) {
+	encLen, err := suite.EncKeyLen()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	authLen, err := suite.AuthKeyLen()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	prf := func(label byte) []byte {
 		h := hmac.New(sha256.New, secret)
 		h.Write([]byte{label})
@@ -237,11 +349,7 @@ func keySchedule(secret, clientRand, serverRand []byte) (cliEnc, cliMac, srvEnc,
 		h.Write(serverRand)
 		return h.Sum(nil)
 	}
-	cliKeys := prf(1) // 32 bytes: 16 enc + first half of mac
-	cliMacB := prf(2)
-	srvKeys := prf(3)
-	srvMacB := prf(4)
-	return cliKeys[:16], cliMacB, srvKeys[:16], srvMacB
+	return prf(1)[:encLen], prf(2)[:authLen], prf(3)[:encLen], prf(4)[:authLen], nil
 }
 
 // transcriptMAC computes the Finished verifier.
@@ -257,12 +365,18 @@ func transcriptMAC(secret []byte, transcript ...[]byte) []byte {
 // session cache configured it first attempts an abbreviated resumption
 // handshake, falling back to the full exchange when the server declines.
 func Client(s Stream, cfg Config) (*Conn, error) {
+	if err := cfg.checkSuites(); err != nil {
+		return nil, err
+	}
 	clientRand := make([]byte, 32)
 	if _, err := io.ReadFull(cfg.rand(), clientRand); err != nil {
 		return nil, err
 	}
 	if cfg.Cache != nil && cfg.ServerName != "" {
-		if sess, ok := cfg.Cache.get(cfg.ServerName); ok {
+		// A cached session whose suite the current config no longer accepts
+		// is skipped (not resumed onto a now-forbidden record layer); the
+		// full handshake below renegotiates and overwrites the cache entry.
+		if sess, ok := cfg.Cache.get(cfg.ServerName); ok && cfg.allows(sess.suite) {
 			conn, resumed, err := resumeClient(s, cfg, sess, clientRand)
 			if resumed {
 				return conn, err
@@ -271,13 +385,13 @@ func Client(s Stream, cfg Config) (*Conn, error) {
 				// Server declined the ticket but already answered with a
 				// full ServerHello: continue the full handshake.
 				cfg.Cache.Forget(cfg.ServerName)
-				hello := msg(msgClientHello, append(append([]byte{}, clientRand...), appendField(nil, sess.ticket)...))
+				hello := clientHello(&cfg, clientRand, sess.ticket)
 				return clientFull(s, cfg, clientRand, hello, fb.rec, fb.body)
 			}
 			return nil, err
 		}
 	}
-	hello := msg(msgClientHello, append(append([]byte{}, clientRand...), appendField(nil, nil)...))
+	hello := clientHello(&cfg, clientRand, nil)
 	if err := writeRecord(s, recHandshake, hello); err != nil {
 		return nil, err
 	}
@@ -310,9 +424,26 @@ func clientFull(s Stream, cfg Config, clientRand, hello, shRec, body []byte) (*C
 	if err != nil {
 		return nil, ErrHandshake
 	}
-	sig, _, err := takeField(rest)
+	sig, rest, err := takeField(rest)
 	if err != nil {
 		return nil, ErrHandshake
+	}
+	// Optional trailing field: the server's suite choice. Absent means a
+	// legacy server (or one configured without Suites); present, it must
+	// name a suite we actually offered — a choice outside our list (or any
+	// choice when we never offered) is a negotiation violation, and the
+	// transcript MACs below additionally pin the exact hello bytes, so a
+	// stripped offer surfaces as a Finished mismatch, not a downgrade.
+	suite := legacySuite
+	if len(rest) > 0 {
+		chosenB, _, err := takeField(rest)
+		if err != nil || len(chosenB) != 2 || cfg.Suites == nil {
+			return nil, ErrHandshake
+		}
+		suite = keymat.Suite(binary.BigEndian.Uint16(chosenB))
+	}
+	if !cfg.allows(suite) {
+		return nil, ErrNoSuite
 	}
 	peer, err := identity.ParsePublicID(alg, cert)
 	if err != nil {
@@ -364,17 +495,23 @@ func clientFull(s Stream, cfg Config, clientRand, hello, shRec, body []byte) (*C
 	// A session ticket may follow the verifier.
 	if cfg.Cache != nil && cfg.ServerName != "" && len(fb) > 32 {
 		if ticket, _, err := takeField(fb[32:]); err == nil && len(ticket) > 0 {
-			cfg.Cache.put(cfg.ServerName, ticket, secret)
+			cfg.Cache.put(cfg.ServerName, ticket, secret, suite)
 		}
 	}
-	cliEnc, cliMac, srvEnc, srvMac := keySchedule(secret, clientRand, serverRand)
-	return newConn(s, cfg, cliEnc, cliMac, srvEnc, srvMac, true, peer)
+	cliEnc, cliAuth, srvEnc, srvAuth, err := keySchedule(secret, clientRand, serverRand, suite)
+	if err != nil {
+		return nil, err
+	}
+	return newConn(s, cfg, suite, cliEnc, cliAuth, srvEnc, srvAuth, true, peer)
 }
 
 // Server performs the server side of the handshake over s.
 func Server(s Stream, cfg Config) (*Conn, error) {
 	if cfg.Identity == nil {
 		return nil, errors.New("tlslite: server requires an identity")
+	}
+	if err := cfg.checkSuites(); err != nil {
+		return nil, err
 	}
 	chRec, err := readRecord(s, recHandshake)
 	if err != nil {
@@ -386,19 +523,48 @@ func Server(s Stream, cfg Config) (*Conn, error) {
 	}
 	clientRand := chBody[:32]
 	var ticket []byte
+	var offer []keymat.Suite // nil: the client predates suite negotiation
 	if len(chBody) > 32 {
-		if tk, _, err := takeField(chBody[32:]); err == nil {
+		if tk, rest, err := takeField(chBody[32:]); err == nil {
 			ticket = tk
+			if len(rest) > 0 {
+				if ofB, _, err := takeField(rest); err == nil {
+					if of, perr := parseSuitesWire(ofB); perr == nil {
+						offer = of
+					}
+				}
+			}
 		}
+	}
+	// Negotiate the record suite. A nil-Suites server ignores any offer
+	// (its wire stays byte-identical to the pre-negotiation format); a
+	// suite-aware server treats an offerless client as offering exactly
+	// the legacy suite, and its own preference order decides — a
+	// legacy-first offer from a downgrading middlebox cannot outrank the
+	// server's AEAD preference, and an AEAD-only server refuses legacy
+	// peers outright instead of accepting a suite outside its policy.
+	suite := legacySuite
+	if cfg.Suites != nil {
+		clientOffer := offer
+		if clientOffer == nil {
+			clientOffer = []keymat.Suite{legacySuite}
+		}
+		chosen, err := keymat.Negotiate(clientOffer, cfg.Suites)
+		if err != nil {
+			return nil, ErrNoSuite
+		}
+		suite = chosen
 	}
 	serverRand := make([]byte, 32)
 	if _, err := io.ReadFull(cfg.rand(), serverRand); err != nil {
 		return nil, err
 	}
-	// Abbreviated handshake when the ticket resolves.
+	// Abbreviated handshake when the ticket resolves to a session whose
+	// record suite the current config still permits; otherwise fall
+	// through to a full handshake that renegotiates.
 	if len(ticket) > 0 && cfg.Sessions != nil {
-		if secret, ok := cfg.Sessions.get(ticket); ok {
-			return serverResume(s, cfg, chRec, clientRand, serverRand, secret)
+		if sess, ok := cfg.Sessions.get(ticket); ok && cfg.allows(sess.suite) {
+			return serverResume(s, cfg, chRec, clientRand, serverRand, sess)
 		}
 	}
 	priv, err := cfg.ecdheKey()
@@ -421,6 +587,12 @@ func Server(s Stream, cfg Config) (*Conn, error) {
 	body = appendField(body, pub.DER)
 	body = appendField(body, dhPub)
 	body = appendField(body, sig)
+	// Echo the suite choice only toward clients that offered: legacy
+	// clients get the original ServerHello bytes, and the trailing field
+	// is covered by every transcript MAC either way.
+	if cfg.Suites != nil && offer != nil {
+		body = appendField(body, suitesWire([]keymat.Suite{suite}))
+	}
 	shRec := msg(msgServerHello, body)
 	if err := writeRecord(s, recHandshake, shRec); err != nil {
 		return nil, err
@@ -451,16 +623,22 @@ func Server(s Stream, cfg Config) (*Conn, error) {
 		return nil, ErrHandshake
 	}
 	srvFin := transcriptMAC(secret, chRec, shRec, ckeRec, []byte("server"))
-	srvFin = appendField(srvFin, issueTicket(cfg, secret))
+	srvFin = appendField(srvFin, issueTicket(cfg, secret, suite))
 	if err := writeRecord(s, recHandshake, msg(msgFinished, srvFin)); err != nil {
 		return nil, err
 	}
-	cliEnc, cliMac, srvEnc, srvMac := keySchedule(secret, clientRand, serverRand)
-	return newConn(s, cfg, cliEnc, cliMac, srvEnc, srvMac, false, nil)
+	cliEnc, cliAuth, srvEnc, srvAuth, err := keySchedule(secret, clientRand, serverRand, suite)
+	if err != nil {
+		return nil, err
+	}
+	return newConn(s, cfg, suite, cliEnc, cliAuth, srvEnc, srvAuth, false, nil)
 }
 
-// serverResume completes the abbreviated handshake.
-func serverResume(s Stream, cfg Config, chRec, clientRand, serverRand, secret []byte) (*Conn, error) {
+// serverResume completes the abbreviated handshake. The record suite is
+// the one stored with the session — both ends negotiated it during the
+// original full handshake and carry it in their caches, so no suite
+// bytes appear on the resumption wire.
+func serverResume(s Stream, cfg Config, chRec, clientRand, serverRand []byte, sess serverSession) (*Conn, error) {
 	srRec := msg(msgServerResume, serverRand)
 	if err := writeRecord(s, recHandshake, srRec); err != nil {
 		return nil, err
@@ -470,14 +648,17 @@ func serverResume(s Stream, cfg Config, chRec, clientRand, serverRand, secret []
 		return nil, fmt.Errorf("%w: reading resumed finished: %v", ErrHandshake, err)
 	}
 	ft, fb, err := splitMsg(finRec)
-	if err != nil || ft != msgFinished || !hmac.Equal(fb, transcriptMAC(secret, chRec, srRec)) {
+	if err != nil || ft != msgFinished || !hmac.Equal(fb, transcriptMAC(sess.secret, chRec, srRec)) {
 		return nil, ErrHandshake
 	}
-	if err := writeRecord(s, recHandshake, msg(msgFinished, transcriptMAC(secret, chRec, srRec, []byte("server")))); err != nil {
+	if err := writeRecord(s, recHandshake, msg(msgFinished, transcriptMAC(sess.secret, chRec, srRec, []byte("server")))); err != nil {
 		return nil, err
 	}
-	cliEnc, cliMac, srvEnc, srvMac := keySchedule(secret, clientRand, serverRand)
-	return newConn(s, cfg, cliEnc, cliMac, srvEnc, srvMac, false, nil)
+	cliEnc, cliAuth, srvEnc, srvAuth, err := keySchedule(sess.secret, clientRand, serverRand, sess.suite)
+	if err != nil {
+		return nil, err
+	}
+	return newConn(s, cfg, sess.suite, cliEnc, cliAuth, srvEnc, srvAuth, false, nil)
 }
 
 func takeField(b []byte) (field, rest []byte, err error) {
@@ -497,7 +678,28 @@ func appendField(b, field []byte) []byte {
 	return append(append(b, l[:]...), field...)
 }
 
-func newConn(s Stream, cfg Config, cliEnc, cliMac, srvEnc, srvMac []byte, isClient bool, peer *identity.PublicID) (*Conn, error) {
+func newConn(s Stream, cfg Config, suite keymat.Suite, cliEnc, cliAuth, srvEnc, srvAuth []byte, isClient bool, peer *identity.PublicID) (*Conn, error) {
+	c := &Conn{stream: s, rd: readerOf(s), cfg: cfg, suite: suite, peer: peer}
+	if suite.IsAEAD() {
+		ca, err := keymat.NewAEADCipher(suite, cliEnc)
+		if err != nil {
+			return nil, err
+		}
+		sa, err := keymat.NewAEADCipher(suite, srvEnc)
+		if err != nil {
+			return nil, err
+		}
+		if isClient {
+			c.outAEAD, c.inAEAD = ca, sa
+			copy(c.outNonce[:keymat.SaltLen], cliAuth)
+			copy(c.inNonce[:keymat.SaltLen], srvAuth)
+		} else {
+			c.outAEAD, c.inAEAD = sa, ca
+			copy(c.outNonce[:keymat.SaltLen], srvAuth)
+			copy(c.inNonce[:keymat.SaltLen], cliAuth)
+		}
+		return c, nil
+	}
 	ce, err := aes.NewCipher(cliEnc)
 	if err != nil {
 		return nil, err
@@ -506,18 +708,21 @@ func newConn(s Stream, cfg Config, cliEnc, cliMac, srvEnc, srvMac []byte, isClie
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{stream: s, rd: readerOf(s), cfg: cfg, peer: peer}
 	if isClient {
-		c.outEnc, c.outMAC = ce, keymat.NewMAC(cliMac)
-		c.inEnc, c.inMAC = se, keymat.NewMAC(srvMac)
+		c.outEnc, c.outMAC = ce, keymat.NewMAC(cliAuth)
+		c.inEnc, c.inMAC = se, keymat.NewMAC(srvAuth)
 	} else {
-		c.outEnc, c.outMAC = se, keymat.NewMAC(srvMac)
-		c.inEnc, c.inMAC = ce, keymat.NewMAC(cliMac)
+		c.outEnc, c.outMAC = se, keymat.NewMAC(srvAuth)
+		c.inEnc, c.inMAC = ce, keymat.NewMAC(cliAuth)
 	}
 	return c, nil
 }
 
+// macLen is the record tag length. The legacy truncated HMAC and the
+// AEAD tags coincide at 16 bytes, so Overhead is suite-independent (the
+// compile-time check pins the coincidence both ways).
 const macLen = 16
+const _ = uint(macLen-keymat.TagLen) + uint(keymat.TagLen-macLen)
 
 // ensure grows b by n bytes, reallocating only when capacity is short,
 // and returns the grown slice.
@@ -546,6 +751,18 @@ func deriveRecordIV(enc cipher.Block, iv *[16]byte, seq uint64) {
 // whose capacity already fits the record, it allocates nothing.
 func (c *Conn) sealRecordAppend(dst, plain []byte) []byte {
 	c.outSeq++
+	if c.outAEAD != nil {
+		// Single-pass AEAD: nonce = salt || big-endian sequence, AAD = the
+		// sequence bytes (redundant with the nonce but symmetric with the
+		// legacy MAC input). Sealing is in place into the ensured region.
+		binary.BigEndian.PutUint64(c.outSeqB[:], c.outSeq)
+		binary.BigEndian.PutUint64(c.outNonce[keymat.SaltLen:], c.outSeq)
+		off := len(dst)
+		dst = ensure(dst, len(plain)+macLen)
+		c.outAEAD.Seal(dst[off:off], &c.outNonce, plain, c.outSeqB[:])
+		c.cfg.charge(c.cfg.Costs.symmetric(len(plain)))
+		return dst
+	}
 	deriveRecordIV(c.outEnc, &c.outIV, c.outSeq)
 	off := len(dst)
 	dst = ensure(dst, len(plain)+macLen)
@@ -576,9 +793,20 @@ func (c *Conn) openRecordInPlace(body []byte) ([]byte, error) {
 	if len(body) < macLen {
 		return nil, ErrBadRecord
 	}
-	ct, tag := body[:len(body)-macLen], body[len(body)-macLen:]
 	c.inSeq++
 	binary.BigEndian.PutUint64(c.inSeqB[:], c.inSeq)
+	if c.inAEAD != nil {
+		// Tag verification precedes any decryption inside Open; the
+		// plaintext lands in place at the head of body.
+		binary.BigEndian.PutUint64(c.inNonce[keymat.SaltLen:], c.inSeq)
+		pt, err := c.inAEAD.Open(body[:0], &c.inNonce, body, c.inSeqB[:])
+		if err != nil {
+			return nil, ErrBadMAC
+		}
+		c.cfg.charge(c.cfg.Costs.symmetric(len(pt)))
+		return pt, nil
+	}
+	ct, tag := body[:len(body)-macLen], body[len(body)-macLen:]
 	c.inMAC.Reset()
 	c.inMAC.Write(c.inSeqB[:])
 	c.inMAC.Write(ct)
